@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Graph analytics: PageRank with mixed caching and shuffling.
+
+Demonstrates the partially-decomposable pattern of Fig. 7(b): adjacency
+lists are variable-sized while ``groupByKey`` builds them (the shuffle
+buffer keeps object form) but runtime-fixed once cached (the cache gets
+decomposed pages) — and the per-iteration rank messages decompose in the
+aggregation buffers with in-place segment reuse.
+
+Run:  python examples/graph_analytics.py
+"""
+
+from repro.config import DecaConfig, ExecutionMode, MB
+from repro.data import graph_preset
+from repro.apps.pagerank import run_pagerank
+
+
+def main() -> None:
+    edges = graph_preset("Pokec")
+    print(f"graph: {len(edges)} edges, "
+          f"{len({v for e in edges for v in e})} vertices")
+
+    results = {}
+    for mode in (ExecutionMode.SPARK, ExecutionMode.DECA):
+        config = DecaConfig(mode=mode, heap_bytes=int(2.5 * MB),
+                            num_executors=2, tasks_per_executor=2,
+                            storage_fraction=0.4, shuffle_fraction=0.6,
+                            page_bytes=128 * 1024)
+        results[mode] = run_pagerank(edges, config, iterations=5,
+                                     num_partitions=8)
+
+    spark, deca = (results[ExecutionMode.SPARK],
+                   results[ExecutionMode.DECA])
+    print(f"\n{'':12s} {'exec(s)':>9s} {'gc(s)':>8s} {'cache(MB)':>10s}")
+    for mode, run in results.items():
+        print(f"{mode.value:12s} {run.wall_s:9.3f} {run.gc_s:8.3f} "
+              f"{run.cached_bytes / MB:10.2f}")
+    print(f"\nspeedup: {spark.wall_s / deca.wall_s:.2f}x, "
+          f"GC reduced {100 * (1 - deca.gc_s / spark.gc_s):.1f}%")
+
+    ranks = deca.result
+    top = sorted(ranks.items(), key=lambda kv: -kv[1])[:5]
+    print("top-ranked vertices:",
+          [(v, round(r, 2)) for v, r in top])
+
+    # Both modes agree on the ranking.
+    spark_top = max(spark.result, key=spark.result.get)
+    deca_top = max(ranks, key=ranks.get)
+    assert spark_top == deca_top
+
+
+if __name__ == "__main__":
+    main()

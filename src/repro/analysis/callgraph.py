@@ -1,0 +1,204 @@
+"""Call-graph construction over the mini-IR (paper §3.3, §5).
+
+Deca's pre-processing phase builds a per-stage call graph whose entry node
+is the stage's main method; every method reachable through calls and
+constructor invocations belongs to the analysis scope.  On top of the graph
+this module implements the *syntactic* facts the global classifier needs:
+
+* which fields are stored outside the constructors of their declaring class;
+* the maximum number of stores to a field along any single constructor
+  calling sequence (``this(...)``-delegation chains included);
+* the init-only decision of §3.3 (final ⇒ init-only; array element fields ⇒
+  never; otherwise only-in-constructors and at-most-once-per-sequence);
+
+and it runs the :class:`~repro.analysis.symconst.SymbolicInterpreter` from
+the entry method to obtain the allocation-site facts used for fixed-length
+array detection.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .ir import (
+    Call,
+    If,
+    Loop,
+    Method,
+    NewObject,
+    Stmt,
+    StoreField,
+    statements_recursive,
+)
+from .symconst import Affine, ScopeFacts, SymbolicInterpreter
+from .udt import ClassType, DataType, Field, walk_types
+
+# Effectively-infinite store count for "assigned inside a loop".
+MANY = 1 << 30
+
+
+class CallGraph:
+    """The per-scope call graph plus derived field-assignment facts."""
+
+    def __init__(self, entry: Method, methods: set[Method],
+                 classes: dict[int, ClassType]) -> None:
+        self.entry = entry
+        self.methods = methods
+        self._classes = classes
+        self._field_owner: dict[int, ClassType] = {}
+        for cls in classes.values():
+            for field in cls.fields:
+                self._field_owner[id(field)] = cls
+        self._facts: ScopeFacts | None = None
+
+    # -- construction ------------------------------------------------------------
+    @classmethod
+    def build(cls, entry: Method,
+              known_types: Iterable[DataType] = ()) -> "CallGraph":
+        """Build the scope reachable from *entry*.
+
+        *known_types* seeds the class universe with types that appear in the
+        data flow but not in any statement (e.g. types only read from a
+        cached RDD).
+        """
+        methods: set[Method] = set()
+        classes: dict[int, ClassType] = {}
+
+        def note_type(data_type: DataType) -> None:
+            for node in walk_types(data_type):
+                if isinstance(node, ClassType):
+                    classes.setdefault(id(node), node)
+
+        for seed in known_types:
+            note_type(seed)
+
+        pending = [entry]
+        while pending:
+            method = pending.pop()
+            if method in methods:
+                continue
+            methods.add(method)
+            if method.owner is not None:
+                note_type(method.owner)
+            for stmt in statements_recursive(method.body):
+                if isinstance(stmt, Call):
+                    pending.append(stmt.method)
+                elif isinstance(stmt, NewObject):
+                    note_type(stmt.cls)
+                    if stmt.ctor is not None:
+                        pending.append(stmt.ctor)
+        return cls(entry, methods, classes)
+
+    # -- symbolic facts -------------------------------------------------------------
+    @property
+    def facts(self) -> ScopeFacts:
+        """Allocation-site facts from symbolically interpreting the entry.
+
+        Entry parameters become fresh symbols: they are values arriving from
+        outside the scope (Fig. 4).
+        """
+        if self._facts is None:
+            interpreter = SymbolicInterpreter()
+            args = {param: Affine.symbol(f"arg:{param}")
+                    for param in self.entry.params}
+            self._facts = interpreter.run(self.entry, args)
+        return self._facts
+
+    # -- field-store facts ------------------------------------------------------------
+    def field_owner(self, field: Field) -> ClassType | None:
+        """The class declaring *field*, if it is in the scope's universe."""
+        owner = self._field_owner.get(id(field))
+        if owner is not None:
+            return owner
+        return _declaring_class(field, self._classes)
+
+    def stores_outside_constructors(self, field: Field) -> bool:
+        """True if any non-constructor method in scope assigns *field*.
+
+        A store inside a constructor of a *different* class also counts:
+        only the declaring class's constructors may initialize the field
+        for it to remain init-only.
+        """
+        owner = self.field_owner(field)
+        for method in self.methods:
+            is_own_ctor = (method.is_constructor and owner is not None
+                           and method.owner is owner)
+            for stmt in statements_recursive(method.body):
+                if isinstance(stmt, StoreField) and stmt.field is field:
+                    if not is_own_ctor:
+                        return True
+        return False
+
+    def max_stores_per_constructor_sequence(self, field: Field) -> int:
+        """Max stores to *field* along one constructor calling sequence.
+
+        A "sequence" is a constructor plus the chain of same-class
+        constructors it delegates to via ``this(...)`` calls.  Stores inside
+        loops count as :data:`MANY`.
+        """
+        owner = self.field_owner(field)
+        if owner is None:
+            return 0
+        best = 0
+        for method in self.methods:
+            if method.is_constructor and method.owner is owner:
+                best = max(best, self._stores_in_sequence(method, field,
+                                                          visited=set()))
+        return best
+
+    def _stores_in_sequence(self, ctor: Method, field: Field,
+                            visited: set[int]) -> int:
+        if id(ctor) in visited:
+            return 0  # delegation cycle: already counted
+        visited.add(id(ctor))
+        return self._count_stores(ctor.body, ctor, field, visited)
+
+    def _count_stores(self, body: tuple[Stmt, ...], ctor: Method,
+                      field: Field, visited: set[int]) -> int:
+        count = 0
+        for stmt in body:
+            if isinstance(stmt, StoreField) and stmt.field is field:
+                count += 1
+            elif isinstance(stmt, If):
+                count += max(
+                    self._count_stores(stmt.then_body, ctor, field, visited),
+                    self._count_stores(stmt.else_body, ctor, field, visited))
+            elif isinstance(stmt, Loop):
+                inner = self._count_stores(stmt.body, ctor, field, visited)
+                if inner:
+                    count += MANY
+            elif isinstance(stmt, Call):
+                if (stmt.receiver == "this" and stmt.method.is_constructor
+                        and stmt.method.owner is ctor.owner):
+                    count += self._stores_in_sequence(stmt.method, field,
+                                                      visited)
+        return count
+
+    # -- the init-only rule (§3.3) -----------------------------------------------
+    def is_init_only(self, field: Field) -> bool:
+        """Decide init-only-ness of *field* per the paper's three rules.
+
+        1. a final field is init-only;
+        2. an array element field is never init-only;
+        3. otherwise the field must not be assigned outside its class's
+           constructors and at most once per constructor calling sequence.
+        """
+        if field.name == "<element>":
+            return False
+        if field.final:
+            return True
+        if self.stores_outside_constructors(field):
+            return False
+        return self.max_stores_per_constructor_sequence(field) <= 1
+
+    def __repr__(self) -> str:
+        return (f"CallGraph(entry={self.entry.qualified_name}, "
+                f"methods={len(self.methods)})")
+
+
+def _declaring_class(field: Field,
+                     classes: dict[int, ClassType]) -> ClassType | None:
+    for cls in classes.values():
+        if any(f is field for f in cls.fields):
+            return cls
+    return None

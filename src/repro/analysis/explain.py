@@ -1,0 +1,135 @@
+"""Human-readable explanations of classification decisions.
+
+``explain_classification`` walks a UDT the way Algorithms 1–4 do and
+narrates every verdict — which field capped the size-type, which array
+failed the fixed-length check, which field is or is not init-only.  The
+Deca optimizer's plan reports give the *what*; this module gives the
+*why*, which is what a user needs when their type unexpectedly stays in
+object form.
+"""
+
+from __future__ import annotations
+
+from .callgraph import CallGraph
+from .global_refine import GlobalClassifier
+from .local import LocalClassifier, classify_locally
+from .size_type import SizeType
+from .symconst import Affine
+from .udt import ArrayType, ClassType, DataType, Field, PrimitiveType, \
+    type_dependency_cycle
+
+
+def explain_classification(udt: DataType,
+                           callgraph: CallGraph | None = None,
+                           assume_init_only: tuple[Field, ...] = ()
+                           ) -> str:
+    """Return a multi-line explanation of *udt*'s size-type."""
+    lines: list[str] = [f"classification of {udt.name}"]
+
+    cycle = type_dependency_cycle(udt)
+    if cycle is not None:
+        path = " -> ".join(t.name for t in cycle)
+        lines.append(f"  recursively-defined: cycle {path}")
+        lines.append("  verdict: recursively-defined (never decomposable)")
+        return "\n".join(lines)
+
+    local = classify_locally(udt)
+    lines.append(f"  local (Algorithm 1): {local.value}")
+    lines.extend(_explain_local(udt, indent="    "))
+
+    if callgraph is None:
+        lines.append("  no call graph: global refinement unavailable; "
+                     "the local verdict stands")
+        lines.append(f"  verdict: {local.value}")
+        return "\n".join(lines)
+
+    classifier = GlobalClassifier(callgraph,
+                                  assume_init_only=assume_init_only)
+    refined = classifier.classify(udt)
+    lines.append(f"  global (Algorithms 2-4): {refined.value}")
+    lines.extend(_explain_global(udt, classifier, indent="    "))
+    lines.append(f"  verdict: {refined.value}"
+                 + (" (decomposable)" if refined.decomposable
+                    else " (kept in object form)"))
+    return "\n".join(lines)
+
+
+def _explain_local(udt: DataType, indent: str) -> list[str]:
+    classifier = LocalClassifier()
+    lines: list[str] = []
+    if isinstance(udt, ClassType):
+        for field in udt.fields:
+            verdict = classifier._analyze_field(field)
+            modifier = "val" if field.final else "var"
+            types = "/".join(t.name for t in field.get_type_set())
+            note = ""
+            if verdict is SizeType.VARIABLE and not field.final:
+                inner = max(
+                    (classifier._analyze_type(t)
+                     for t in field.get_type_set()),
+                    key=lambda s: 0 if s is SizeType.STATIC_FIXED else
+                    (1 if s is SizeType.RUNTIME_FIXED else 2))
+                if inner is SizeType.RUNTIME_FIXED:
+                    note = (" (non-final field holding RFSTs: "
+                            "reassignment could change the data-size)")
+            lines.append(f"{indent}{modifier} {field.name}: {types} "
+                         f"-> {verdict.value}{note}")
+    elif isinstance(udt, ArrayType):
+        element = classifier._analyze_field(udt.element_field)
+        lines.append(f"{indent}element: {element.value} "
+                     "(arrays of SFST elements are RFSTs; "
+                     "anything else makes the array a VST)")
+    return lines
+
+
+def _explain_global(udt: DataType, classifier: GlobalClassifier,
+                    indent: str) -> list[str]:
+    lines: list[str] = []
+    seen: set[int] = set()
+
+    def visit(node: DataType) -> None:
+        if isinstance(node, PrimitiveType) or id(node) in seen:
+            return
+        seen.add(id(node))
+        if isinstance(node, ArrayType):
+            fixed = classifier.is_fixed_length(node)
+            sites = classifier.callgraph.facts.sites_for_type(node)
+            if fixed and sites:
+                length = sites[0].length
+                shown = (f"= {length.constant_value:g}"
+                         if isinstance(length, Affine)
+                         and length.is_constant else f"= {length}")
+                lines.append(f"{indent}{node.name}: fixed-length "
+                             f"({len(sites)} allocation site(s), length "
+                             f"{shown})")
+            elif fixed:
+                lines.append(f"{indent}{node.name}: fixed-length "
+                             "(vouched for by an outer phase)")
+            elif not sites:
+                lines.append(f"{indent}{node.name}: no allocation sites "
+                             "in scope -> not provably fixed-length")
+            else:
+                lines.append(f"{indent}{node.name}: {len(sites)} "
+                             "allocation site(s) with differing lengths "
+                             "-> variable")
+            for runtime in node.element_field.get_type_set():
+                visit(runtime)
+        elif isinstance(node, ClassType):
+            for field in node.fields:
+                holds_non_sfst = any(
+                    not isinstance(t, PrimitiveType)
+                    and not classifier.srefine(t)
+                    for t in field.get_type_set())
+                if holds_non_sfst:
+                    init_only = classifier.is_init_only(field)
+                    lines.append(
+                        f"{indent}{node.name}.{field.name}: "
+                        + ("init-only (assigned once per object)"
+                           if init_only else
+                           "NOT init-only (reassignment possible) "
+                           "-> blocks RFST refinement"))
+                for runtime in field.get_type_set():
+                    visit(runtime)
+
+    visit(udt)
+    return lines

@@ -1,0 +1,185 @@
+"""Global classification analysis — Algorithms 2, 3 and 4 of the paper.
+
+The local classifier (Algorithm 1) is conservative: it assumes any non-final
+field may be re-pointed at differently-sized objects and that every array may
+have a different length.  The global classifier breaks those assumptions
+with whole-scope code analysis:
+
+* **fixed-length array types** — all allocation sites of an array type in
+  the scope's call graph construct it with provably equal lengths (decided
+  by symbolized constant propagation, Fig. 4);
+* **init-only fields** — assigned at most once per object during execution
+  (final, or only-in-constructors-once; array element fields never qualify).
+
+``SRefine`` (Algorithm 3) then promotes a type to SFST when every array in
+its dependency graph is fixed-length with SFST elements; ``RRefine``
+(Algorithm 4) promotes to RFST when every RFST-valued field is init-only.
+"""
+
+from __future__ import annotations
+
+from .callgraph import CallGraph
+from .local import LocalClassifier
+from .size_type import SizeType
+from .symconst import Affine
+from .udt import ArrayType, ClassType, DataType, Field, PrimitiveType
+
+
+class GlobalClassifier:
+    """Implements Algorithms 2–4 over one analysis scope (a call graph).
+
+    *assume_fixed_length* lists array types known to be fixed-length from
+    facts outside this scope — the phased refinement (§3.4) uses it for
+    arrays materialized by an earlier phase.
+    """
+
+    def __init__(self, callgraph: CallGraph,
+                 assume_fixed_length: tuple[ArrayType, ...] = (),
+                 assume_init_only: tuple[Field, ...] = ()) -> None:
+        self.callgraph = callgraph
+        self._assumed_fixed = {id(t) for t in assume_fixed_length}
+        self._assumed_init_only = {id(f) for f in assume_init_only}
+        self._local = LocalClassifier()
+        self._srefine_cache: dict[int, bool] = {}
+        self._rrefine_cache: dict[int, bool] = {}
+        self._in_progress: set[int] = set()
+
+    # -- Algorithm 2 ----------------------------------------------------------
+    def classify(self, udt: DataType) -> SizeType:
+        """Return the refined size-type of *udt*."""
+        local = self._local.classify(udt)
+        if local is SizeType.RECURSIVELY_DEFINED:
+            return local
+        if local is SizeType.STATIC_FIXED:
+            return local
+        if self.srefine(udt):
+            return SizeType.STATIC_FIXED
+        if local is SizeType.RUNTIME_FIXED or self.rrefine(udt):
+            return SizeType.RUNTIME_FIXED
+        return SizeType.VARIABLE
+
+    # -- Algorithm 3: SRefine ---------------------------------------------------
+    def srefine(self, target: DataType) -> bool:
+        """Can *target* be refined to a static fixed-sized type?"""
+        if isinstance(target, PrimitiveType):
+            return True
+        key = id(target)
+        cached = self._srefine_cache.get(key)
+        if cached is not None:
+            return cached
+        if key in self._in_progress:
+            return False  # defensive: cyclic graphs never SRefine
+        self._in_progress.add(key)
+        try:
+            result = self._srefine_uncached(target)
+        finally:
+            self._in_progress.discard(key)
+        self._srefine_cache[key] = result
+        return result
+
+    def _srefine_uncached(self, target: DataType) -> bool:
+        for field in _fields_of(target):
+            for runtime_type in field.get_type_set():
+                if isinstance(runtime_type, PrimitiveType):
+                    continue
+                if isinstance(runtime_type, ArrayType) \
+                        and self.is_fixed_length(runtime_type,
+                                                 field=field) \
+                        and self._elements_srefine(runtime_type):
+                    # Fixed-length w.r.t. this field (§3.3): the array
+                    # type may vary elsewhere, but every instance this
+                    # field ever holds has the same proven length.
+                    continue
+                if not self.srefine(runtime_type):
+                    return False
+        if isinstance(target, ArrayType) and not self.is_fixed_length(target):
+            return False
+        return True
+
+    def _elements_srefine(self, array_type: ArrayType) -> bool:
+        return all(isinstance(t, PrimitiveType) or self.srefine(t)
+                   for t in array_type.element_field.get_type_set())
+
+    # -- Algorithm 4: RRefine ------------------------------------------------------
+    def rrefine(self, target: DataType) -> bool:
+        """Can *target* be refined to a runtime fixed-sized type?"""
+        if isinstance(target, PrimitiveType):
+            return True
+        key = id(target)
+        cached = self._rrefine_cache.get(key)
+        if cached is not None:
+            return cached
+        if key in self._in_progress:
+            return False
+        self._in_progress.add(key)
+        try:
+            result = self._rrefine_uncached(target)
+        finally:
+            self._in_progress.discard(key)
+        self._rrefine_cache[key] = result
+        return result
+
+    def _rrefine_uncached(self, target: DataType) -> bool:
+        for field in _fields_of(target):
+            field_holds_rfst = False
+            for runtime_type in field.get_type_set():
+                if isinstance(runtime_type, PrimitiveType):
+                    continue
+                if self.srefine(runtime_type):
+                    continue
+                if self.rrefine(runtime_type):
+                    field_holds_rfst = True
+                else:
+                    return False
+            if field_holds_rfst and not self.is_init_only(field):
+                return False
+        return True
+
+    # -- code-analysis predicates -----------------------------------------------
+    def is_fixed_length(self, array_type: ArrayType,
+                        field: Field | None = None) -> bool:
+        """All allocation sites of *array_type* use provably equal lengths.
+
+        With *field*, the check follows the paper's per-field definition
+        (§3.3: "fixed-length array type *w.r.t.* f"): only the allocation
+        sites whose arrays flow into *field* must agree, so a type that
+        varies globally can still be fixed for one field.
+
+        Lengths are compared as affine expressions over the scope's input
+        symbols; a single unknown (⊤) length makes the type variable.
+        Arrays never allocated in this scope are fixed-length only if an
+        outer phase vouches for them via *assume_fixed_length*.
+        """
+        if id(array_type) in self._assumed_fixed:
+            return True
+        facts = self.callgraph.facts
+        if field is not None:
+            field_sites = [site for site in facts.sites_for_field(field)
+                           if site.array_type is array_type]
+            if field_sites:
+                return self._equal_lengths(field_sites)
+        sites = facts.sites_for_type(array_type)
+        if not sites:
+            return False
+        return self._equal_lengths(sites)
+
+    @staticmethod
+    def _equal_lengths(sites) -> bool:
+        first = sites[0].length
+        if not isinstance(first, Affine):
+            return False
+        return all(site.length == first for site in sites)
+
+    def is_init_only(self, field: Field) -> bool:
+        """Init-only per §3.3, or vouched for by an outer phase."""
+        if id(field) in self._assumed_init_only:
+            return True
+        return self.callgraph.is_init_only(field)
+
+
+def _fields_of(target: DataType) -> tuple[Field, ...]:
+    if isinstance(target, ClassType):
+        return target.fields
+    if isinstance(target, ArrayType):
+        return (target.element_field,)
+    return ()

@@ -1,0 +1,244 @@
+"""A mini method-IR standing in for JVM bytecode.
+
+The paper analyzes compiled Scala with the Soot framework; here applications
+describe the relevant parts of their UDF/UDT code — constructors, field
+assignments, array allocations — in a small statement language.  It is just
+rich enough to drive the global analyses of §3.3:
+
+* **symbolized constant propagation** (Fig. 4): values entering the scope
+  from outside (I/O, arguments) become symbols, and the interpreter tracks
+  affine expressions over them, so two array allocations with lengths
+  ``2 + a - 1`` and ``a + 1`` are recognized as equal;
+* **fixed-length array detection**: every ``NewArray`` whose result flows
+  into a field store is an allocation site for that field;
+* **init-only field detection**: counting ``StoreField`` occurrences per
+  method and per constructor calling sequence.
+
+Expressions and statements are plain frozen dataclasses; methods are lists
+of statements.  There is no control-flow graph — branches are modelled by
+``If`` joining both arms' effects and ``Loop`` by a single widened
+iteration, which is all the paper's refinements require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from ..errors import IRError
+from .udt import ArrayType, ClassType, Field
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+class Expr:
+    """Base class of IR expressions."""
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """An integer (or float) literal."""
+
+    value: int | float
+
+
+@dataclass(frozen=True)
+class Local(Expr):
+    """A read of a local variable or parameter."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class SymInput(Expr):
+    """A value entering the analysis scope from the outside.
+
+    Anything read from I/O or passed in from beyond the call graph becomes
+    an opaque symbol for the constant propagation (Fig. 4's ``Symbol(1)``).
+    Two ``SymInput`` with the same *label* denote the same runtime value.
+    """
+
+    label: str
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary arithmetic expression (``+``, ``-``, ``*``)."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("+", "-", "*"):
+            raise IRError(f"unsupported operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class LoadField(Expr):
+    """Read ``obj.field`` where *obj* is a local variable name."""
+
+    obj: str
+    field: Field
+
+
+@dataclass(frozen=True)
+class ArrayLength(Expr):
+    """Read ``arr.length`` where *arr* is a local variable name."""
+
+    array: str
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+class Stmt:
+    """Base class of IR statements."""
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``target = expr`` into a local variable."""
+
+    target: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class NewObject(Stmt):
+    """``target = new Cls(args...)`` — runs the class's constructor.
+
+    *ctor* is the constructor's :class:`Method` body; ``None`` models a
+    constructor outside the analysis scope (its effects are opaque).
+    """
+
+    target: str
+    cls: ClassType
+    ctor: "Method | None" = None
+    args: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class NewArray(Stmt):
+    """``target = new Array[T](length)`` — an array allocation site."""
+
+    target: str
+    array_type: ArrayType
+    length: Expr
+
+
+@dataclass(frozen=True)
+class StoreField(Stmt):
+    """``obj.field = value`` where *obj* is a local variable name.
+
+    ``obj`` may be ``"this"`` inside constructors and instance methods.
+    """
+
+    obj: str
+    field: Field
+    value: Expr
+
+
+@dataclass(frozen=True)
+class StoreElement(Stmt):
+    """``arr[index] = value`` — array element assignment.
+
+    Element fields are never init-only (§3.3 footnote 1); this statement
+    exists so the analyses can see element writes without tracking indices.
+    """
+
+    array: str
+    index: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Call(Stmt):
+    """``target = method(args...)`` — a call inside the analysis scope."""
+
+    target: str | None
+    method: "Method"
+    args: tuple[Expr, ...] = ()
+    receiver: str | None = None
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    """``return expr`` (or ``return`` when *expr* is None)."""
+
+    expr: Expr | None = None
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """A branch whose condition is opaque to the analysis.
+
+    The interpreter evaluates both arms and joins their environments, so a
+    variable assigned different abstract values in the two arms widens to
+    ⊤ — but assignments that agree (Fig. 4's two ``new Array[Int]`` sites)
+    stay precise.
+    """
+
+    then_body: tuple[Stmt, ...]
+    else_body: tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True)
+class Loop(Stmt):
+    """A loop whose trip count is opaque to the analysis.
+
+    Interpreted once with widening: any local whose abstract value changed
+    during the iteration becomes ⊤.
+    """
+
+    body: tuple[Stmt, ...]
+
+
+StatementLike = Union[Stmt]
+
+
+@dataclass
+class Method:
+    """A method body in the analysis scope.
+
+    ``owner`` is the class the method belongs to (``None`` for stage-level
+    driver code).  ``is_constructor`` marks ``<init>`` bodies, which the
+    init-only analysis treats specially.
+    """
+
+    name: str
+    params: tuple[str, ...] = ()
+    body: tuple[Stmt, ...] = ()
+    owner: ClassType | None = None
+    is_constructor: bool = False
+
+    def __post_init__(self) -> None:
+        self.params = tuple(self.params)
+        self.body = tuple(self.body)
+        if self.is_constructor and self.owner is None:
+            raise IRError(f"constructor {self.name!r} must have an owner")
+
+    @property
+    def qualified_name(self) -> str:
+        if self.owner is not None:
+            return f"{self.owner.name}.{self.name}"
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Method({self.qualified_name})"
+
+    __hash__ = object.__hash__
+
+
+def statements_recursive(body: Sequence[Stmt]):
+    """Yield every statement in *body*, descending into If/Loop blocks."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from statements_recursive(stmt.then_body)
+            yield from statements_recursive(stmt.else_body)
+        elif isinstance(stmt, Loop):
+            yield from statements_recursive(stmt.body)

@@ -1,0 +1,78 @@
+"""Local classification analysis — Algorithm 1 of the paper.
+
+The local classifier inspects only the type-dependency graph of a UDT:
+
+1. a type-dependency cycle makes the UDT recursively-defined (never
+   decomposable);
+2. primitives are SFSTs;
+3. an array of SFST elements is an RFST (instances differ in length but an
+   instance's size is fixed); any other array is a VST;
+4. a class is as variable as its most variable field;
+5. a field is as variable as the most variable type in its type-set, except
+   that a *non-final* field holding RFSTs becomes a VST — the field could be
+   reassigned to an object of a different data-size (lines 28–30).
+
+It is deliberately conservative; the global classifier
+(:mod:`repro.analysis.global_refine`) refines its RFST/VST answers.
+"""
+
+from __future__ import annotations
+
+from .size_type import SizeType, max_variability
+from .udt import ArrayType, ClassType, DataType, Field, PrimitiveType, \
+    type_dependency_cycle
+
+
+class LocalClassifier:
+    """Implements Algorithm 1 with memoization over the type graph."""
+
+    def __init__(self) -> None:
+        self._cache: dict[int, SizeType] = {}
+
+    def classify(self, udt: DataType) -> SizeType:
+        """Return the size-type of *udt* (the algorithm's entry point)."""
+        if type_dependency_cycle(udt) is not None:
+            return SizeType.RECURSIVELY_DEFINED
+        return self._analyze_type(udt)
+
+    # ``AnalyzeType`` (Algorithm 1, lines 4–22)
+    def _analyze_type(self, target: DataType) -> SizeType:
+        cached = self._cache.get(id(target))
+        if cached is not None:
+            return cached
+        if isinstance(target, PrimitiveType):
+            result = SizeType.STATIC_FIXED
+        elif isinstance(target, ArrayType):
+            element = self._analyze_field(target.element_field)
+            if element is SizeType.STATIC_FIXED:
+                result = SizeType.RUNTIME_FIXED
+            else:
+                result = SizeType.VARIABLE
+        elif isinstance(target, ClassType):
+            result = max_variability(
+                self._analyze_field(field) for field in target.fields)
+        else:
+            raise TypeError(f"unexpected type node: {target!r}")
+        self._cache[id(target)] = result
+        return result
+
+    # ``AnalyzeField`` (Algorithm 1, lines 23–34)
+    def _analyze_field(self, field: Field) -> SizeType:
+        result = SizeType.STATIC_FIXED
+        for runtime_type in field.get_type_set():
+            tmp = self._analyze_type(runtime_type)
+            if tmp is SizeType.VARIABLE:
+                return SizeType.VARIABLE
+            if tmp is SizeType.RUNTIME_FIXED:
+                if not field.final:
+                    # The field may later point at an object with a
+                    # different data-size, so the enclosing object's
+                    # data-size could change (lines 28–29).
+                    return SizeType.VARIABLE
+                result = SizeType.RUNTIME_FIXED
+        return result
+
+
+def classify_locally(udt: DataType) -> SizeType:
+    """One-shot convenience wrapper around :class:`LocalClassifier`."""
+    return LocalClassifier().classify(udt)

@@ -1,0 +1,93 @@
+"""Phased refinement (paper §3.4).
+
+A job stage consists of phases — top-level loops bridged by materialized
+data collectors (Fig. 5).  A type's variability can differ between phases:
+a Value array built by ``groupByKey`` grows while the shuffle phase appends
+to it (VST there), but once emitted into a cached RDD the subsequent phases
+never reassign it, so it is an RFST *for them* — and can be decomposed in
+the long-living cache even though it could not be decomposed in the shuffle
+buffer (Fig. 7(b)).
+
+:class:`PhasedClassifier` runs the global classification once per phase,
+using that phase's own call graph.  For phases that *read* objects
+materialized by an earlier phase, the arrays those objects carry are already
+fully constructed, so their array types are assumed fixed-length-per-
+instance (they enter the RFST check, not the SFST one) via the
+``assume_init_only``/``assume_fixed_length`` hooks of
+:class:`~repro.analysis.global_refine.GlobalClassifier`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .callgraph import CallGraph
+from .global_refine import GlobalClassifier
+from .local import classify_locally
+from .size_type import SizeType
+from .udt import DataType, Field
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase of a stage: a name plus the call graph of its loop body.
+
+    *reads_materialized* marks phases whose input objects come from a data
+    collector written by an earlier phase (every phase but the first in
+    Fig. 5's template); their input arrays are fully constructed.
+    """
+
+    name: str
+    callgraph: CallGraph
+    reads_materialized: bool = False
+
+
+@dataclass(frozen=True)
+class PhaseReport:
+    """The per-phase size-types of one UDT."""
+
+    udt: DataType
+    local: SizeType
+    by_phase: tuple[tuple[str, SizeType], ...]
+
+    def size_type_in(self, phase_name: str) -> SizeType:
+        for name, size_type in self.by_phase:
+            if name == phase_name:
+                return size_type
+        raise KeyError(phase_name)
+
+    @property
+    def ever_decomposable(self) -> bool:
+        """Whether any phase may store this UDT decomposed."""
+        return any(st.decomposable for _, st in self.by_phase)
+
+
+class PhasedClassifier:
+    """Runs the global classification per phase of a job stage."""
+
+    def __init__(self, phases: tuple[Phase, ...]) -> None:
+        self.phases = phases
+
+    def classify(self, udt: DataType,
+                 materialized_fields: tuple[Field, ...] = ()) -> PhaseReport:
+        """Classify *udt* in every phase.
+
+        *materialized_fields* lists fields of records read from an earlier
+        phase's collector that are fully initialized there — phases reading
+        materialized data may treat them as init-only unless their own call
+        graphs assign them again.
+        """
+        local = classify_locally(udt)
+        results: list[tuple[str, SizeType]] = []
+        for phase in self.phases:
+            if local is SizeType.RECURSIVELY_DEFINED:
+                results.append((phase.name, local))
+                continue
+            if phase.reads_materialized:
+                classifier = GlobalClassifier(
+                    phase.callgraph,
+                    assume_init_only=materialized_fields)
+            else:
+                classifier = GlobalClassifier(phase.callgraph)
+            results.append((phase.name, classifier.classify(udt)))
+        return PhaseReport(udt=udt, local=local, by_phase=tuple(results))

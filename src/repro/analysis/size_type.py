@@ -1,0 +1,71 @@
+"""The size-type lattice (paper §3.1).
+
+A UDT's *size-type* describes how the data-sizes of its instances may vary:
+
+* ``STATIC_FIXED`` (SFST) — every instance has the same data-size, known
+  before runtime, and it never changes;
+* ``RUNTIME_FIXED`` (RFST) — instances may differ in data-size, but each
+  instance's data-size is fixed once constructed;
+* ``VARIABLE`` (VST) — an instance's data-size may change after
+  construction (field reassignment, growable buffers, ...);
+* ``RECURSIVELY_DEFINED`` — the type-dependency graph has a cycle, so
+  object graphs may contain reference cycles and can never be decomposed.
+
+The paper defines the total variability order SFST < RFST < VST; a
+composite type is as variable as its most variable field.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+from ..errors import AnalysisError
+
+
+class SizeType(enum.Enum):
+    """Variability classification of a UDT (paper §3.1)."""
+
+    STATIC_FIXED = "static-fixed"
+    RUNTIME_FIXED = "runtime-fixed"
+    VARIABLE = "variable"
+    RECURSIVELY_DEFINED = "recursively-defined"
+
+    @property
+    def decomposable(self) -> bool:
+        """Whether objects of this size-type can be safely decomposed.
+
+        Only SFSTs and RFSTs may be stored as byte sequences: anything else
+        could outgrow its allocated segment and overwrite its neighbours
+        (§3.1).
+        """
+        return self in (SizeType.STATIC_FIXED, SizeType.RUNTIME_FIXED)
+
+
+_VARIABILITY_RANK: dict[SizeType, int] = {
+    SizeType.STATIC_FIXED: 0,
+    SizeType.RUNTIME_FIXED: 1,
+    SizeType.VARIABLE: 2,
+}
+
+
+def variability_rank(size_type: SizeType) -> int:
+    """Position of *size_type* in the SFST < RFST < VST order."""
+    try:
+        return _VARIABILITY_RANK[size_type]
+    except KeyError:
+        raise AnalysisError(
+            "recursively-defined types have no variability rank") from None
+
+
+def max_variability(size_types: Iterable[SizeType]) -> SizeType:
+    """The most variable of *size_types* (empty input means SFST).
+
+    A composite type's size-type is the join of its fields' size-types
+    (Algorithm 1, lines 12–20).
+    """
+    result = SizeType.STATIC_FIXED
+    for candidate in size_types:
+        if variability_rank(candidate) > variability_rank(result):
+            result = candidate
+    return result

@@ -1,0 +1,401 @@
+"""Symbolized constant propagation (paper §3.3, Fig. 4).
+
+Values entering the analysis scope from outside — I/O reads, driver-supplied
+arguments — are represented by opaque *symbols*; the interpreter then tracks
+**affine combinations** of symbols and constants through assignments and
+arithmetic.  This is exactly what Fig. 4 needs::
+
+    a = input.readString().toInt()   # a == Symbol(1)
+    b = 2 + a - 1                    # b == Symbol(1) + 1
+    c = a + 1                        # c == Symbol(1) + 1
+    if foo(): array = new Array[Int](b)
+    else:     array = new Array[Int](c)
+    # both allocation sites have length Symbol(1) + 1  ->  fixed-length
+
+The :class:`SymbolicInterpreter` abstractly executes a method body (with
+calls inlined up to a depth bound, branches joined, loops widened) and
+collects every array allocation site together with the field(s) the array is
+assigned to.  :mod:`repro.analysis.global_refine` consumes those facts to
+decide fixed-length-ness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Iterable, Mapping
+
+from ..errors import IRError
+from .ir import (
+    ArrayLength,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    If,
+    LoadField,
+    Local,
+    Loop,
+    Method,
+    NewArray,
+    NewObject,
+    Return,
+    Stmt,
+    StoreElement,
+    StoreField,
+    SymInput,
+)
+from .udt import ArrayType, Field
+
+
+# --------------------------------------------------------------------------
+# Abstract values
+# --------------------------------------------------------------------------
+
+class _Top:
+    """The unknown value (⊤)."""
+
+    _instance: "_Top | None" = None
+
+    def __new__(cls) -> "_Top":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊤"
+
+
+TOP = _Top()
+
+
+@dataclass(frozen=True)
+class Affine:
+    """``offset + Σ coeff·symbol`` over the scope's input symbols.
+
+    *coeffs* is a canonical (sorted, zero-free) tuple of
+    ``(symbol_label, coefficient)`` pairs, so structural equality decides
+    whether two lengths are provably equal.
+    """
+
+    coeffs: tuple[tuple[str, float], ...]
+    offset: float
+
+    @staticmethod
+    def constant(value: int | float) -> "Affine":
+        return Affine((), float(value))
+
+    @staticmethod
+    def symbol(label: str) -> "Affine":
+        return Affine(((label, 1.0),), 0.0)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    @property
+    def constant_value(self) -> float:
+        if not self.is_constant:
+            raise IRError(f"{self} is not a constant")
+        return self.offset
+
+    def _combine(self, other: "Affine", sign: float) -> "Affine":
+        acc = dict(self.coeffs)
+        for label, coeff in other.coeffs:
+            acc[label] = acc.get(label, 0.0) + sign * coeff
+        return Affine(_canonical(acc), self.offset + sign * other.offset)
+
+    def __add__(self, other: "Affine") -> "Affine":
+        return self._combine(other, 1.0)
+
+    def __sub__(self, other: "Affine") -> "Affine":
+        return self._combine(other, -1.0)
+
+    def scaled(self, factor: float) -> "Affine":
+        return Affine(
+            _canonical({l: c * factor for l, c in self.coeffs}),
+            self.offset * factor)
+
+    def __repr__(self) -> str:
+        parts = [f"{c:g}*{l}" for l, c in self.coeffs]
+        parts.append(f"{self.offset:g}")
+        return " + ".join(parts)
+
+
+def _canonical(coeffs: Mapping[str, float]) -> tuple[tuple[str, float], ...]:
+    return tuple(sorted(
+        (label, coeff) for label, coeff in coeffs.items() if coeff != 0.0))
+
+
+AbstractValue = Affine | _Top
+
+
+def join(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Least upper bound: equal affine values stay precise, otherwise ⊤."""
+    if isinstance(a, Affine) and isinstance(b, Affine) and a == b:
+        return a
+    return TOP
+
+
+# --------------------------------------------------------------------------
+# Abstract object references
+# --------------------------------------------------------------------------
+
+class ObjectRef:
+    """An object allocated inside the scope, tracked field-by-field."""
+
+    __slots__ = ("fields",)
+
+    def __init__(self) -> None:
+        self.fields: dict[int, "EnvValue"] = {}
+
+    def store(self, field: Field, value: "EnvValue") -> None:
+        self.fields[id(field)] = value
+
+    def load(self, field: Field) -> "EnvValue":
+        return self.fields.get(id(field), TOP)
+
+
+class ArrayRef(ObjectRef):
+    """An array allocated inside the scope; remembers its abstract length."""
+
+    __slots__ = ("array_type", "length")
+
+    def __init__(self, array_type: ArrayType, length: AbstractValue) -> None:
+        super().__init__()
+        self.array_type = array_type
+        self.length = length
+
+
+EnvValue = AbstractValue | ObjectRef
+
+
+@dataclass(frozen=True)
+class AllocationSite:
+    """One array allocation observed flowing into a field store."""
+
+    array_type: ArrayType
+    length: AbstractValue
+
+
+@dataclass
+class ScopeFacts:
+    """Everything the global classifier needs from one interpretation."""
+
+    # Every array allocation site whose result was stored into a field,
+    # keyed by the field.
+    field_array_sites: dict[int, list[AllocationSite]] = \
+        dc_field(default_factory=dict)
+    # All array allocation sites in the scope, keyed by array type identity.
+    array_sites: dict[int, list[AllocationSite]] = \
+        dc_field(default_factory=dict)
+    # Field identity -> Field object (for reporting).
+    fields_seen: dict[int, Field] = dc_field(default_factory=dict)
+
+    def record_array_site(self, site: AllocationSite) -> None:
+        self.array_sites.setdefault(id(site.array_type), []).append(site)
+
+    def record_field_store(self, field: Field, site: AllocationSite) -> None:
+        self.fields_seen[id(field)] = field
+        self.field_array_sites.setdefault(id(field), []).append(site)
+
+    def sites_for_field(self, field: Field) -> list[AllocationSite]:
+        return self.field_array_sites.get(id(field), [])
+
+    def sites_for_type(self, array_type: ArrayType) -> list[AllocationSite]:
+        return self.array_sites.get(id(array_type), [])
+
+
+# --------------------------------------------------------------------------
+# The interpreter
+# --------------------------------------------------------------------------
+
+class SymbolicInterpreter:
+    """Abstractly executes a method, collecting :class:`ScopeFacts`.
+
+    Branches are joined, loops widened (one throw-away iteration to find the
+    changing locals, then one recorded iteration with those locals at ⊤),
+    and calls inlined to *max_depth*.
+    """
+
+    def __init__(self, max_depth: int = 32) -> None:
+        self.max_depth = max_depth
+        self.facts = ScopeFacts()
+        self._loop_depth = 0
+
+    def run(self, method: Method,
+            args: Mapping[str, EnvValue] | None = None) -> ScopeFacts:
+        """Interpret *method* with abstract *args*; returns the facts."""
+        env: dict[str, EnvValue] = dict(args or {})
+        for param in method.params:
+            env.setdefault(param, TOP)
+        self._exec_body(method.body, env, depth=0, record=True)
+        return self.facts
+
+    # -- statement execution ------------------------------------------------
+    def _exec_body(self, body: Iterable[Stmt], env: dict[str, EnvValue],
+                   depth: int, record: bool) -> EnvValue:
+        """Execute statements; returns the method's abstract return value."""
+        result: EnvValue = TOP
+        saw_return = False
+        for stmt in body:
+            if isinstance(stmt, Assign):
+                env[stmt.target] = self._eval(stmt.expr, env)
+            elif isinstance(stmt, NewArray):
+                length = self._eval_numeric(stmt.length, env)
+                ref = ArrayRef(stmt.array_type, length)
+                if record:
+                    self.facts.record_array_site(
+                        AllocationSite(stmt.array_type, length))
+                env[stmt.target] = ref
+            elif isinstance(stmt, NewObject):
+                ref = ObjectRef()
+                env[stmt.target] = ref
+                if stmt.ctor is not None and depth < self.max_depth:
+                    call_env = self._bind_args(
+                        stmt.ctor, stmt.args, env, receiver=ref)
+                    self._exec_body(stmt.ctor.body, call_env,
+                                    depth + 1, record)
+            elif isinstance(stmt, StoreField):
+                value = self._eval(stmt.value, env)
+                target = env.get(stmt.obj, TOP)
+                if isinstance(target, ObjectRef):
+                    target.store(stmt.field, value)
+                if record and isinstance(value, ArrayRef):
+                    self.facts.record_field_store(
+                        stmt.field,
+                        AllocationSite(value.array_type, value.length))
+            elif isinstance(stmt, StoreElement):
+                pass  # element writes never affect lengths or field sites
+            elif isinstance(stmt, Call):
+                value = self._exec_call(stmt, env, depth, record)
+                if stmt.target is not None:
+                    env[stmt.target] = value
+            elif isinstance(stmt, If):
+                then_env = dict(env)
+                else_env = dict(env)
+                self._exec_body(stmt.then_body, then_env, depth, record)
+                self._exec_body(stmt.else_body, else_env, depth, record)
+                env.clear()
+                env.update(_join_envs(then_env, else_env))
+            elif isinstance(stmt, Loop):
+                self._loop_depth += 1
+                try:
+                    probe_env = dict(env)
+                    self._exec_body(stmt.body, probe_env, depth, record=False)
+                    for name, after in probe_env.items():
+                        before = env.get(name)
+                        if not _env_values_equal(before, after):
+                            env[name] = TOP
+                    self._exec_body(stmt.body, env, depth, record)
+                finally:
+                    self._loop_depth -= 1
+            elif isinstance(stmt, Return):
+                value = (TOP if stmt.expr is None
+                         else self._eval(stmt.expr, env))
+                if not saw_return:
+                    result = value
+                    saw_return = True
+                else:
+                    result = _join_env_value(result, value)
+            else:
+                raise IRError(f"unknown statement {stmt!r}")
+        return result
+
+    def _exec_call(self, stmt: Call, env: dict[str, EnvValue],
+                   depth: int, record: bool) -> EnvValue:
+        if depth >= self.max_depth:
+            return TOP
+        call_env = self._bind_args(stmt.method, stmt.args, env,
+                                   receiver=env.get(stmt.receiver, TOP)
+                                   if stmt.receiver else None)
+        return self._exec_body(stmt.method.body, call_env, depth + 1, record)
+
+    def _bind_args(self, method: Method, args: tuple[Expr, ...],
+                   env: dict[str, EnvValue],
+                   receiver: EnvValue | None = None) -> dict[str, EnvValue]:
+        call_env: dict[str, EnvValue] = {}
+        if receiver is not None:
+            call_env["this"] = receiver
+        for param, arg in zip(method.params, args):
+            call_env[param] = self._eval(arg, env)
+        for param in method.params[len(args):]:
+            call_env[param] = TOP
+        return call_env
+
+    # -- expression evaluation -------------------------------------------------
+    def _eval(self, expr: Expr, env: dict[str, EnvValue]) -> EnvValue:
+        if isinstance(expr, Const):
+            return Affine.constant(expr.value)
+        if isinstance(expr, Local):
+            return env.get(expr.name, TOP)
+        if isinstance(expr, SymInput):
+            # A value read *inside* a loop differs per iteration, so it is
+            # unknown; only values read once (and hoisted before the loop)
+            # become symbols the propagation can reason about (Fig. 4).
+            if self._loop_depth > 0:
+                return TOP
+            return Affine.symbol(expr.label)
+        if isinstance(expr, BinOp):
+            lhs = self._eval_numeric(expr.lhs, env)
+            rhs = self._eval_numeric(expr.rhs, env)
+            return _apply(expr.op, lhs, rhs)
+        if isinstance(expr, LoadField):
+            obj = env.get(expr.obj, TOP)
+            if isinstance(obj, ObjectRef):
+                return obj.load(expr.field)
+            return TOP
+        if isinstance(expr, ArrayLength):
+            arr = env.get(expr.array, TOP)
+            if isinstance(arr, ArrayRef):
+                return arr.length
+            return TOP
+        raise IRError(f"unknown expression {expr!r}")
+
+    def _eval_numeric(self, expr: Expr,
+                      env: dict[str, EnvValue]) -> AbstractValue:
+        value = self._eval(expr, env)
+        if isinstance(value, ObjectRef):
+            return TOP
+        return value
+
+
+def _apply(op: str, lhs: AbstractValue, rhs: AbstractValue) -> AbstractValue:
+    if not isinstance(lhs, Affine) or not isinstance(rhs, Affine):
+        return TOP
+    if op == "+":
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        if lhs.is_constant:
+            return rhs.scaled(lhs.constant_value)
+        if rhs.is_constant:
+            return lhs.scaled(rhs.constant_value)
+        return TOP
+    raise IRError(f"unsupported operator {op!r}")
+
+
+def _env_values_equal(a: EnvValue | None, b: EnvValue | None) -> bool:
+    if a is None or b is None:
+        return a is b
+    if isinstance(a, ObjectRef) or isinstance(b, ObjectRef):
+        return a is b
+    return a == b
+
+
+def _join_env_value(a: EnvValue, b: EnvValue) -> EnvValue:
+    if isinstance(a, ObjectRef) or isinstance(b, ObjectRef):
+        return a if a is b else TOP
+    return join(a, b)
+
+
+def _join_envs(a: dict[str, EnvValue],
+               b: dict[str, EnvValue]) -> dict[str, EnvValue]:
+    joined: dict[str, EnvValue] = {}
+    for name in set(a) | set(b):
+        if name in a and name in b:
+            joined[name] = _join_env_value(a[name], b[name])
+        else:
+            joined[name] = TOP
+    return joined

@@ -1,0 +1,60 @@
+"""Benchmark applications (paper §6, Table 1).
+
+Each application is written against the public :class:`repro.spark.DecaContext`
+API exactly as its Scala counterpart is written against Spark, and declares
+its UDTs (:mod:`repro.apps.udts`) so the Deca optimizer can classify and
+decompose them:
+
+========================  ======  =====  ========  ==================
+application               stages  jobs   cache     shuffle
+========================  ======  =====  ========  ==================
+WordCount (WC)            two     single none      aggregated
+LogisticRegression (LR)   single  multi  static    none
+KMeans                    two     multi  static    aggregated
+PageRank (PR)             multi   multi  static    grouped+aggregated
+ConnectedComponent (CC)   multi   multi  static    grouped+aggregated
+========================  ======  =====  ========  ==================
+
+plus the two exploratory SQL queries of Table 6.
+"""
+
+__all__ = [
+    "run_wordcount",
+    "run_logistic_regression",
+    "run_kmeans",
+    "run_pagerank",
+    "run_connected_components",
+    "run_query1",
+    "run_query2",
+]
+
+
+def __getattr__(name: str):
+    """Lazily import the application entry points.
+
+    The app modules pull in the whole engine; deferring the imports lets
+    lightweight users (e.g. the analysis tests) import submodules such as
+    :mod:`repro.apps.udts` without paying for it.
+    """
+    if name in __all__:
+        from . import (
+            connected_components,
+            kmeans,
+            logistic_regression,
+            pagerank,
+            sql_queries,
+            wordcount,
+        )
+        modules = {
+            "run_wordcount": wordcount.run_wordcount,
+            "run_logistic_regression":
+                logistic_regression.run_logistic_regression,
+            "run_kmeans": kmeans.run_kmeans,
+            "run_pagerank": pagerank.run_pagerank,
+            "run_connected_components":
+                connected_components.run_connected_components,
+            "run_query1": sql_queries.run_query1,
+            "run_query2": sql_queries.run_query2,
+        }
+        return modules[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,164 @@
+"""KMeans — caching plus aggregated shuffling (§6.2, Table 1).
+
+Like LR, the training points are parsed once and cached; unlike LR, every
+iteration is a two-stage job — the assignment map emits
+``(cluster, (vector_sum, count))`` pairs into a hash-based shuffle buffer
+with eager aggregation, and the reduce stage recomputes the centers.  Both
+the cache decomposition and the shuffle segment reuse therefore apply.
+"""
+
+from __future__ import annotations
+
+from ..analysis import (
+    Assign,
+    ArrayType,
+    ClassType,
+    DOUBLE,
+    Field,
+    INT,
+    Local,
+    Loop,
+    Method,
+    NewArray,
+    NewObject,
+    Return,
+    StoreField,
+    SymInput,
+)
+from ..config import DecaConfig
+from ..spark.rdd import UdtInfo
+from .common import AppRun, make_context
+from .udts import make_labeled_point_model
+
+Point = tuple[float, ...]
+
+
+def cluster_stat_udt_info(dimensions: int) -> UdtInfo:
+    """The ``(cluster, (vector_sum, count))`` aggregation record.
+
+    All sum arrays share the dataset dimension, so the record is an SFST
+    — the eager-aggregation buffer decomposes with in-place segment reuse
+    on every merge (§4.3.2).
+    """
+    double_array = ArrayType(DOUBLE)
+    sum_field = Field("sum", double_array, final=True)
+    stat = ClassType("ClusterStat", [
+        Field("cluster", INT), sum_field, Field("count", INT)])
+    ctor = Method(
+        "<init>", params=("cluster", "sum", "count"),
+        body=(
+            StoreField("this", stat.field("cluster"), Local("cluster")),
+            StoreField("this", sum_field, Local("sum")),
+            StoreField("this", stat.field("count"), Local("count")),
+        ),
+        owner=stat, is_constructor=True)
+    entry = Method(
+        name="km.assignStage",
+        body=(
+            Assign("D", SymInput("D")),
+            Loop((
+                NewArray("sum", double_array, Local("D")),
+                NewObject("stat", stat, ctor=ctor,
+                          args=(SymInput("cluster"), Local("sum"),
+                                SymInput("count"))),
+            )),
+            Return(),
+        ))
+    # What Spark actually allocates per record: Tuple2(Integer,
+    # Tuple2(DenseVector, Integer)) — wrappers and boxes included.
+    boxed_int = ClassType("Integer", [Field("value", INT)])
+    dense = ClassType("DenseVector", [
+        Field("data", double_array, final=True),
+        Field("offset", INT), Field("stride", INT), Field("length", INT)])
+    inner = ClassType("Tuple2$inner", [
+        Field("_1", dense, final=True), Field("_2", boxed_int, final=True)])
+    outer = ClassType("Tuple2$outer", [
+        Field("_1", boxed_int, final=True), Field("_2", inner, final=True)])
+    return UdtInfo(
+        udt=stat,
+        entry_method=entry,
+        encode=lambda kv: (kv[0], tuple(kv[1][0]), kv[1][1]),
+        decode=lambda v: (v[0], (tuple(v[1]), v[2])),
+        runtime_symbols={"D": dimensions},
+        constant_footprint=True,
+        object_model=outer,
+        measure_encode=lambda kv: (
+            (kv[0],), (((tuple(kv[1][0]), 0, 1, len(kv[1][0])),
+                        (kv[1][1],)))),
+    )
+
+
+def point_udt_info(dimensions: int) -> UdtInfo:
+    """KMeans reuses the LR vector model with a constant label slot."""
+    model = make_labeled_point_model(dimensions=None)
+    return UdtInfo(
+        udt=model.labeled_point,
+        entry_method=model.stage_entry,
+        encode=lambda p: (0.0, (p, 0, 1, len(p))),
+        decode=lambda v: tuple(v[1][0]),
+        runtime_symbols={"D": dimensions, "D2": dimensions},
+        constant_footprint=True,
+    )
+
+
+def _closest(point: Point, centers: list[Point]) -> int:
+    best_index = 0
+    best_distance = float("inf")
+    for index, center in enumerate(centers):
+        distance = sum((x - c) * (x - c) for x, c in zip(point, center))
+        if distance < best_distance:
+            best_distance = distance
+            best_index = index
+    return best_index
+
+
+def run_kmeans(points: list[Point], k: int = 8,
+               config: DecaConfig | None = None,
+               iterations: int = 10,
+               num_partitions: int = 8) -> AppRun:
+    """Cluster *points* into *k* centers; returns centers and metrics."""
+    if not points:
+        raise ValueError("kmeans needs a non-empty dataset")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    dimensions = len(points[0])
+    ctx = make_context(config)
+    info = point_udt_info(dimensions)
+    cpu = ctx.config.cpu
+    # Distance computation vectorizes over dimensions; the k-way argmin
+    # adds comparisons, not full passes.
+    assign_cost = (cpu.record_op_ms
+                   + cpu.arithmetic_per_dim_ms * (dimensions + k))
+
+    raw = ctx.parallelize(points, num_partitions, name="km.input")
+    cached = raw.map(lambda p: p, name="km.points", udt_info=info).cache()
+    stat_info = cluster_stat_udt_info(dimensions)
+
+    centers = [points[(i * 7919) % len(points)] for i in range(k)]
+    for _ in range(iterations):
+        frozen = list(centers)
+
+        def assign(point, c=frozen):
+            index = _closest(point, c)
+            return index, (point, 1)
+
+        def merge(a, b):
+            (sum_a, count_a), (sum_b, count_b) = a, b
+            return (tuple(x + y for x, y in zip(sum_a, sum_b)),
+                    count_a + count_b)
+
+        sums = cached.map(assign, name="km.assign",
+                          record_cost_ms=assign_cost,
+                          udt_info=stat_info) \
+                     .reduce_by_key(merge, num_partitions,
+                                    name="km.update") \
+                     .collect()
+        new_centers = list(centers)
+        for index, (vector_sum, count) in sums:
+            new_centers[index] = tuple(x / count for x in vector_sum)
+        centers = new_centers
+
+    metrics = ctx.finish()
+    return AppRun(result=centers, metrics=metrics, ctx=ctx,
+                  cached_bytes=ctx.cached_bytes_of(cached),
+                  swapped_cache_bytes=ctx.swapped_bytes_of(cached))

@@ -1,0 +1,119 @@
+"""The two exploratory SQL queries of §6.6, three ways.
+
+For each query the paper compares:
+
+* **Spark** / **Deca** — a semantically identical hand-written RDD program
+  (rows cached as objects or decomposed pages respectively);
+* **Spark SQL** — the columnar engine (:mod:`repro.sql`).
+
+Query 1 — a simple filter::
+
+    SELECT pageURL, pageRank FROM rankings WHERE pageRank > 100;
+
+Query 2 — a GroupBy aggregate::
+
+    SELECT SUBSTR(sourceIP, 1, 5), SUM(adRevenue)
+    FROM uservisits GROUP BY SUBSTR(sourceIP, 1, 5);
+"""
+
+from __future__ import annotations
+
+from ..config import DecaConfig
+from ..data.tables import RankingRow, UserVisitRow
+from ..spark.rdd import UdtInfo
+from ..sql import SqlEngine, groupby_sum, select
+from ..sql.schema import RANKINGS_SCHEMA, USERVISITS_SCHEMA
+from .common import AppRun, make_context
+from .udts import make_ranking_model, make_uservisit_model
+
+
+def _chars(s: str) -> tuple:
+    return (tuple(ord(c) for c in s),)
+
+
+def _string(v) -> str:
+    return "".join(chr(c) for c in v[0])
+
+
+def ranking_udt_info() -> UdtInfo:
+    model = make_ranking_model()
+    return UdtInfo(
+        udt=model.row_type,
+        entry_method=model.stage_entry,
+        encode=lambda row: (_chars(row[0]), row[1], row[2]),
+        decode=lambda v: (_string(v[0]), v[1], v[2]),
+    )
+
+
+def uservisit_udt_info() -> UdtInfo:
+    model = make_uservisit_model()
+    return UdtInfo(
+        udt=model.row_type,
+        entry_method=model.stage_entry,
+        encode=lambda r: (_chars(r[0]), _chars(r[1]), r[2], r[3],
+                          _chars(r[4]), _chars(r[5]), _chars(r[6]),
+                          _chars(r[7]), r[8]),
+        decode=lambda v: (_string(v[0]), _string(v[1]), v[2], v[3],
+                          _string(v[4]), _string(v[5]), _string(v[6]),
+                          _string(v[7]), v[8]),
+    )
+
+
+def run_query1(rankings: list[RankingRow],
+               config: DecaConfig | None = None,
+               num_partitions: int = 8,
+               threshold: int = 100) -> AppRun:
+    """The hand-written RDD version of Query 1 (Spark/Deca rows)."""
+    ctx = make_context(config)
+    rows = ctx.parallelize(rankings, num_partitions, name="q1.rankings") \
+        .map(lambda r: r, name="q1.rows",
+             udt_info=ranking_udt_info()).cache()
+    result = rows.filter(lambda r: r[1] > threshold, name="q1.filter") \
+        .map(lambda r: (r[0], r[1]), name="q1.project") \
+        .collect()
+    metrics = ctx.finish()
+    return AppRun(result=result, metrics=metrics, ctx=ctx,
+                  cached_bytes=ctx.cached_bytes_of(rows),
+                  swapped_cache_bytes=ctx.swapped_bytes_of(rows))
+
+
+def run_query2(uservisits: list[UserVisitRow],
+               config: DecaConfig | None = None,
+               num_partitions: int = 8,
+               prefix: int = 5) -> AppRun:
+    """The hand-written RDD version of Query 2 (Spark/Deca rows)."""
+    ctx = make_context(config)
+    rows = ctx.parallelize(uservisits, num_partitions,
+                           name="q2.uservisits") \
+        .map(lambda r: r, name="q2.rows",
+             udt_info=uservisit_udt_info()).cache()
+    summed = rows.map(lambda r: (r[0][:prefix], r[3]), name="q2.keyed") \
+        .reduce_by_key(lambda a, b: a + b, num_partitions,
+                       name="q2.sum")
+    result = sorted(summed.collect())
+    metrics = ctx.finish()
+    return AppRun(result=result, metrics=metrics, ctx=ctx,
+                  cached_bytes=ctx.cached_bytes_of(rows),
+                  swapped_cache_bytes=ctx.swapped_bytes_of(rows))
+
+
+def run_query1_sparksql(rankings: list[RankingRow],
+                        config: DecaConfig | None = None,
+                        threshold: int = 100):
+    """Query 1 on the columnar engine; returns its QueryResult."""
+    engine = SqlEngine(config)
+    engine.register_table("rankings", RANKINGS_SCHEMA, rankings)
+    engine.cache_table("rankings")
+    return engine.run(select(["pageURL", "pageRank"], "rankings",
+                             where=("pageRank", ">", threshold)))
+
+
+def run_query2_sparksql(uservisits: list[UserVisitRow],
+                        config: DecaConfig | None = None,
+                        prefix: int = 5):
+    """Query 2 on the columnar engine; returns its QueryResult."""
+    engine = SqlEngine(config)
+    engine.register_table("uservisits", USERVISITS_SCHEMA, uservisits)
+    engine.cache_table("uservisits")
+    return engine.run(groupby_sum("uservisits", "sourceIP", "adRevenue",
+                                  key_prefix=prefix))

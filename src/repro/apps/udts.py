@@ -1,0 +1,422 @@
+"""UDT models and constructor IR for the benchmark applications.
+
+These declarations are the Python analogue of what Deca's pre-processing
+phase extracts from the applications' compiled bytecode: class shapes,
+field finality, runtime type-sets and the constructor bodies that assign
+the fields.  The Deca optimizer classifies them with Algorithms 1–4.
+
+The central example is the paper's Fig. 1/Fig. 3 ``LabeledPoint``:
+
+* locally, ``features`` is a non-final field holding RFST ``DenseVector``
+  objects, so ``LabeledPoint`` is classified VST;
+* globally, ``features`` is init-only (assigned once, in the constructor)
+  and ``features.data`` is a fixed-length array (every allocation uses the
+  global dimension constant), so ``LabeledPoint`` refines to SFST.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import (
+    ArrayType,
+    Assign,
+    CHAR,
+    ClassType,
+    Const,
+    DOUBLE,
+    Field,
+    INT,
+    LONG,
+    Loop,
+    Method,
+    NewArray,
+    NewObject,
+    Return,
+    StoreField,
+    SymInput,
+)
+from ..analysis.ir import Local
+
+
+@dataclass(frozen=True)
+class LabeledPointModel:
+    """The LR/KMeans type universe plus the per-stage entry method."""
+
+    double_array: ArrayType
+    dense_vector: ClassType
+    vector: ClassType
+    labeled_point: ClassType
+    dense_vector_ctor: Method
+    labeled_point_ctor: Method
+    stage_entry: Method
+    data_field: Field
+    features_field: Field
+    label_field: Field
+
+
+def make_labeled_point_model(dimensions: int | None = 10,
+                             fixed_length: bool = True) -> LabeledPointModel:
+    """Build the Fig. 1 type model.
+
+    With *fixed_length* (the paper's LR program) every feature array is
+    allocated with the same length — the global constant ``D`` when
+    *dimensions* is given, otherwise a single symbolic input (e.g. a
+    dimension read from the dataset header).  With ``fixed_length=False``
+    the map UDF allocates arrays of two different lengths (a dense/sparse
+    mix), so the global analysis must leave the type variable-sized.
+    """
+    double_array = ArrayType(DOUBLE)
+    data_field = Field("data", double_array, final=True)
+    dense_vector = ClassType("DenseVector", [
+        data_field,
+        Field("offset", INT),
+        Field("stride", INT),
+        Field("length", INT),
+    ])
+    # The abstract ``Vector`` supertype: the declared type of ``features``.
+    vector = ClassType("Vector")
+    label_field = Field("label", DOUBLE)
+    features_field = Field("features", vector, type_set=(dense_vector,),
+                           final=False)
+    labeled_point = ClassType("LabeledPoint", [label_field, features_field])
+
+    dense_vector_ctor = Method(
+        name="<init>",
+        params=("data",),
+        body=(
+            StoreField("this", data_field, Local("data")),
+            StoreField("this", dense_vector.field("offset"), Const(0)),
+            StoreField("this", dense_vector.field("stride"), Const(1)),
+            StoreField("this", dense_vector.field("length"), Const(0)),
+        ),
+        owner=dense_vector,
+        is_constructor=True,
+    )
+    labeled_point_ctor = Method(
+        name="<init>",
+        params=("label", "features"),
+        body=(
+            StoreField("this", label_field, Local("label")),
+            StoreField("this", features_field, Local("features")),
+        ),
+        owner=labeled_point,
+        is_constructor=True,
+    )
+
+    prologue: tuple = ()
+    if dimensions is not None:
+        length_expr = Const(dimensions)
+        alt_length_expr = Const(dimensions if fixed_length
+                                else dimensions + 7)
+    else:
+        # The dimension is read once from the dataset header and hoisted
+        # before the input loop (Fig. 4's symbolized constant).
+        prologue = (Assign("D", SymInput("D")),
+                    Assign("D2", SymInput("D2")))
+        length_expr = Local("D")
+        alt_length_expr = Local("D") if fixed_length else Local("D2")
+
+    # The map UDF of Fig. 1 (lines 13–17): parse one line, build the
+    # feature array, wrap it into DenseVector and LabeledPoint.  The Loop
+    # models iterating over the input split.
+    loop_body = (
+        NewArray("features_arr", double_array, length_expr),
+        NewObject("features_vec", dense_vector, ctor=dense_vector_ctor,
+                  args=(Local("features_arr"),)),
+        Assign("label", SymInput("label")),
+        NewObject("point", labeled_point, ctor=labeled_point_ctor,
+                  args=(Local("label"), Local("features_vec"))),
+    )
+    if not fixed_length:
+        loop_body = loop_body + (
+            NewArray("other_arr", double_array, alt_length_expr),
+            NewObject("other_vec", dense_vector, ctor=dense_vector_ctor,
+                      args=(Local("other_arr"),)),
+            StoreField("point", features_field, Local("other_vec")),
+        )
+    stage_entry = Method(
+        name="lr.stage0",
+        params=(),
+        body=prologue + (Loop(loop_body), Return()),
+    )
+
+    return LabeledPointModel(
+        double_array=double_array,
+        dense_vector=dense_vector,
+        vector=vector,
+        labeled_point=labeled_point,
+        dense_vector_ctor=dense_vector_ctor,
+        labeled_point_ctor=labeled_point_ctor,
+        stage_entry=stage_entry,
+        data_field=data_field,
+        features_field=features_field,
+        label_field=label_field,
+    )
+
+
+@dataclass(frozen=True)
+class WordCountModel:
+    """WC's shuffle record: ``Tuple2[String, Int]``."""
+
+    char_array: ArrayType
+    string_type: ClassType
+    tuple2: ClassType
+    string_ctor: Method
+    tuple2_ctor: Method
+    stage_entry: Method
+
+
+def make_wordcount_model() -> WordCountModel:
+    """``Tuple2(word: String, count: Int)`` — an RFST (strings vary in
+    length across instances but never grow), decomposable in the hash-based
+    shuffle buffer with segment reuse for the aggregated count (§4.3.2)."""
+    char_array = ArrayType(CHAR)
+    value_field = Field("value", char_array, final=True)
+    string_type = ClassType("String", [value_field])
+    word_field = Field("word", string_type, final=True)
+    count_field = Field("count", INT)
+    tuple2 = ClassType("Tuple2", [word_field, count_field])
+
+    string_ctor = Method(
+        name="<init>", params=("value",),
+        body=(StoreField("this", value_field, Local("value")),),
+        owner=string_type, is_constructor=True)
+    tuple2_ctor = Method(
+        name="<init>", params=("word", "count"),
+        body=(
+            StoreField("this", word_field, Local("word")),
+            StoreField("this", count_field, Local("count")),
+        ),
+        owner=tuple2, is_constructor=True)
+
+    stage_entry = Method(
+        name="wc.stage0",
+        body=(
+            Loop((
+                # Each word read from the split has its own length.
+                NewArray("chars", char_array, SymInput("wordlen")),
+                NewObject("word", string_type, ctor=string_ctor,
+                          args=(Local("chars"),)),
+                NewObject("pair", tuple2, ctor=tuple2_ctor,
+                          args=(Local("word"), Const(1))),
+            )),
+            Return(),
+        ))
+
+    return WordCountModel(
+        char_array=char_array,
+        string_type=string_type,
+        tuple2=tuple2,
+        string_ctor=string_ctor,
+        tuple2_ctor=tuple2_ctor,
+        stage_entry=stage_entry,
+    )
+
+
+@dataclass(frozen=True)
+class GraphModel:
+    """PR/CC type universe: edges, adjacency lists and rank messages."""
+
+    long_array: ArrayType
+    edge: ClassType
+    adjacency: ClassType
+    rank_message: ClassType
+    edge_ctor: Method
+    adjacency_ctor: Method
+    rank_ctor: Method
+    build_stage_entry: Method
+    iterate_stage_entry: Method
+    neighbors_field: Field
+
+
+def make_graph_model() -> GraphModel:
+    """PageRank/ConnectedComponent types.
+
+    The adjacency list's ``neighbors`` array is built by ``groupByKey``
+    appends — a VST inside the shuffle buffer (the growable buffer
+    reassigns it), but init-only in the iterate stages that only read the
+    cached adjacency RDD, where it therefore refines to an RFST (§3.4,
+    Fig. 7(b)).
+    """
+    long_array = ArrayType(LONG)
+    src_field = Field("src", LONG)
+    dst_field = Field("dst", LONG)
+    edge = ClassType("Edge", [src_field, dst_field])
+
+    vid_field = Field("vid", LONG)
+    neighbors_field = Field("neighbors", long_array, final=False)
+    adjacency = ClassType("AdjacencyList", [vid_field, neighbors_field])
+
+    target_field = Field("target", LONG)
+    rank_field = Field("rank", DOUBLE)
+    rank_message = ClassType("RankMessage", [target_field, rank_field])
+
+    edge_ctor = Method(
+        name="<init>", params=("src", "dst"),
+        body=(
+            StoreField("this", src_field, Local("src")),
+            StoreField("this", dst_field, Local("dst")),
+        ),
+        owner=edge, is_constructor=True)
+    adjacency_ctor = Method(
+        name="<init>", params=("vid", "neighbors"),
+        body=(
+            StoreField("this", vid_field, Local("vid")),
+            StoreField("this", neighbors_field, Local("neighbors")),
+        ),
+        owner=adjacency, is_constructor=True)
+    rank_ctor = Method(
+        name="<init>", params=("target", "rank"),
+        body=(
+            StoreField("this", target_field, Local("target")),
+            StoreField("this", rank_field, Local("rank")),
+        ),
+        owner=rank_message, is_constructor=True)
+
+    # Stage 0 groups edges into adjacency lists: the neighbor array of one
+    # vertex is reallocated as values arrive (growable append), so the
+    # store to ``neighbors`` happens outside the constructor too.
+    build_stage_entry = Method(
+        name="graph.build",
+        body=(
+            Loop((
+                NewObject("e", edge, ctor=edge_ctor,
+                          args=(SymInput("src"), SymInput("dst"))),
+                NewArray("grown", long_array, SymInput("degree")),
+                NewObject("adj", adjacency, ctor=adjacency_ctor,
+                          args=(SymInput("vid"), Local("grown"))),
+                NewArray("regrown", long_array, SymInput("degree2")),
+                StoreField("adj", neighbors_field, Local("regrown")),
+            )),
+            Return(),
+        ))
+
+    # Iterate stages only read the cached adjacency lists and emit fresh
+    # rank messages; they never assign ``neighbors``.
+    iterate_stage_entry = Method(
+        name="graph.iterate",
+        body=(
+            Loop((
+                NewObject("msg", rank_message, ctor=rank_ctor,
+                          args=(SymInput("target"), SymInput("rank"))),
+            )),
+            Return(),
+        ))
+
+    return GraphModel(
+        long_array=long_array,
+        edge=edge,
+        adjacency=adjacency,
+        rank_message=rank_message,
+        edge_ctor=edge_ctor,
+        adjacency_ctor=adjacency_ctor,
+        rank_ctor=rank_ctor,
+        build_stage_entry=build_stage_entry,
+        iterate_stage_entry=iterate_stage_entry,
+        neighbors_field=neighbors_field,
+    )
+
+
+@dataclass(frozen=True)
+class SqlRowModel:
+    """A row class for the hand-written RDD versions of the SQL queries."""
+
+    row_type: ClassType
+    row_ctor: Method
+    stage_entry: Method
+
+
+def _string_class(name: str, char_array: ArrayType) -> tuple[ClassType,
+                                                             Method]:
+    value_field = Field("value", char_array, final=True)
+    cls = ClassType(name, [value_field])
+    ctor = Method(
+        "<init>", params=("value",),
+        body=(StoreField("this", value_field, Local("value")),),
+        owner=cls, is_constructor=True)
+    return cls, ctor
+
+
+def make_ranking_model() -> SqlRowModel:
+    """``Ranking(pageURL: String, pageRank: Int, avgDuration: Int)``.
+
+    Strings give the row per-instance sizes, so the global classification
+    lands on RFST — decomposable with length-prefixed string fields.
+    """
+    char_array = ArrayType(CHAR)
+    url_string, url_ctor = _string_class("UrlString", char_array)
+    url_field = Field("pageURL", url_string, final=True)
+    rank_field = Field("pageRank", INT)
+    duration_field = Field("avgDuration", INT)
+    row = ClassType("Ranking", [url_field, rank_field, duration_field])
+    row_ctor = Method(
+        "<init>", params=("url", "rank", "duration"),
+        body=(
+            StoreField("this", url_field, Local("url")),
+            StoreField("this", rank_field, Local("rank")),
+            StoreField("this", duration_field, Local("duration")),
+        ),
+        owner=row, is_constructor=True)
+    stage_entry = Method(
+        name="sql.scanRankings",
+        body=(
+            Loop((
+                NewArray("chars", char_array, SymInput("urllen")),
+                NewObject("url", url_string, ctor=url_ctor,
+                          args=(Local("chars"),)),
+                NewObject("row", row, ctor=row_ctor,
+                          args=(Local("url"), SymInput("rank"),
+                                SymInput("duration"))),
+            )),
+            Return(),
+        ))
+    return SqlRowModel(row_type=row, row_ctor=row_ctor,
+                       stage_entry=stage_entry)
+
+
+def make_uservisit_model() -> SqlRowModel:
+    """The nine-column ``UserVisit`` row (five strings, four numerics)."""
+    char_array = ArrayType(CHAR)
+    strings = {}
+    ctors = {}
+    for field_name in ("sourceIP", "destURL", "userAgent", "countryCode",
+                       "languageCode", "searchWord"):
+        strings[field_name], ctors[field_name] = _string_class(
+            f"Str_{field_name}", char_array)
+    fields = [
+        Field("sourceIP", strings["sourceIP"], final=True),
+        Field("destURL", strings["destURL"], final=True),
+        Field("visitDate", INT),
+        Field("adRevenue", DOUBLE),
+        Field("userAgent", strings["userAgent"], final=True),
+        Field("countryCode", strings["countryCode"], final=True),
+        Field("languageCode", strings["languageCode"], final=True),
+        Field("searchWord", strings["searchWord"], final=True),
+        Field("duration", INT),
+    ]
+    row = ClassType("UserVisit", fields)
+    params = tuple(f.name for f in fields)
+    row_ctor = Method(
+        "<init>", params=params,
+        body=tuple(StoreField("this", f, Local(f.name)) for f in fields),
+        owner=row, is_constructor=True)
+    loop_body = []
+    args = []
+    for f in fields:
+        if f.name in strings:
+            loop_body.append(NewArray(f"{f.name}_chars", char_array,
+                                      SymInput(f"{f.name}_len")))
+            loop_body.append(NewObject(f"{f.name}_str", strings[f.name],
+                                       ctor=ctors[f.name],
+                                       args=(Local(f"{f.name}_chars"),)))
+            args.append(Local(f"{f.name}_str"))
+        else:
+            args.append(SymInput(f.name))
+    loop_body.append(NewObject("row", row, ctor=row_ctor,
+                               args=tuple(args)))
+    stage_entry = Method(
+        name="sql.scanUserVisits",
+        body=(Loop(tuple(loop_body)), Return()))
+    return SqlRowModel(row_type=row, row_ctor=row_ctor,
+                       stage_entry=stage_entry)

@@ -1,0 +1,35 @@
+"""Benchmark harness: scaled scenarios for every table and figure.
+
+:mod:`repro.bench.harness` defines the scaled-down workload points (the
+paper's "40GB"/"80GB"/... labels mapped to record counts that land in the
+same heap-occupancy regimes) and runs each application under the three
+modes; :mod:`repro.bench.report` renders the rows/series the paper's
+tables and figures report.
+"""
+
+from .harness import (
+    FigureRow,
+    GraphScale,
+    LR_SIZES,
+    WC_SIZES,
+    lr_records_for,
+    run_graph_point,
+    run_lr_point,
+    run_kmeans_point,
+    run_wc_point,
+)
+from .report import format_table, write_result
+
+__all__ = [
+    "FigureRow",
+    "GraphScale",
+    "LR_SIZES",
+    "WC_SIZES",
+    "lr_records_for",
+    "run_graph_point",
+    "run_lr_point",
+    "run_kmeans_point",
+    "run_wc_point",
+    "format_table",
+    "write_result",
+]

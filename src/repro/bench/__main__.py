@@ -1,0 +1,99 @@
+"""Command-line experiment runner: ``python -m repro.bench``.
+
+Runs individual scaled experiment points without pytest — handy for
+exploring regimes interactively::
+
+    python -m repro.bench lr --label 80GB --iterations 5
+    python -m repro.bench wc --size 150GB --keys 100M
+    python -m repro.bench pr --graph HB
+    python -m repro.bench kmeans --label 100GB
+    python -m repro.bench cc --graph WB
+
+Each run prints one row per execution mode (Spark / SparkSer / Deca).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..config import ExecutionMode
+from .harness import (
+    GRAPH_SCALES,
+    LR_SIZES,
+    WC_SIZES,
+    run_graph_point,
+    run_kmeans_point,
+    run_lr_point,
+    run_wc_point,
+)
+from .report import rows_as_table
+
+
+def _modes(names: list[str] | None) -> list[ExecutionMode]:
+    if not names:
+        return list(ExecutionMode)
+    lookup = {mode.value: mode for mode in ExecutionMode}
+    try:
+        return [lookup[name] for name in names]
+    except KeyError as exc:
+        raise SystemExit(f"unknown mode {exc.args[0]!r}; "
+                         f"choose from {sorted(lookup)}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run scaled Deca experiments from the command line.")
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--modes", nargs="*", metavar="MODE",
+                        help="spark / spark-ser / deca (default: all)")
+    sub = parser.add_subparsers(dest="app", required=True)
+
+    lr = sub.add_parser("lr", parents=[common],
+                        help="LogisticRegression sweep point")
+    lr.add_argument("--label", default="80GB", choices=sorted(LR_SIZES))
+    lr.add_argument("--iterations", type=int, default=5)
+
+    km = sub.add_parser("kmeans", parents=[common],
+                        help="KMeans sweep point")
+    km.add_argument("--label", default="80GB", choices=sorted(LR_SIZES))
+    km.add_argument("--iterations", type=int, default=5)
+
+    wc = sub.add_parser("wc", parents=[common],
+                        help="WordCount point")
+    wc.add_argument("--size", default="100GB",
+                    choices=sorted({s for s, _ in WC_SIZES}))
+    wc.add_argument("--keys", default="100M",
+                    choices=sorted({k for _, k in WC_SIZES}))
+
+    for name in ("pr", "cc"):
+        graph = sub.add_parser(name, parents=[common],
+                               help=f"{name.upper()} graph point")
+        graph.add_argument("--graph", default="WB",
+                           choices=sorted(GRAPH_SCALES))
+        graph.add_argument("--iterations", type=int, default=3)
+
+    args = parser.parse_args(argv)
+    modes = _modes(args.modes)
+
+    rows = []
+    for mode in modes:
+        if args.app == "lr":
+            rows.append(run_lr_point(args.label, mode,
+                                     iterations=args.iterations))
+        elif args.app == "kmeans":
+            rows.append(run_kmeans_point(args.label, mode,
+                                         iterations=args.iterations))
+        elif args.app == "wc":
+            rows.append(run_wc_point(args.size, args.keys, mode))
+        else:
+            rows.append(run_graph_point(args.app.upper(), args.graph,
+                                        mode,
+                                        iterations=args.iterations))
+    print(rows_as_table(f"repro.bench {args.app}", rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,265 @@
+"""Scaled workload points for the paper's experiments.
+
+The cluster in the paper has 4 workers with 20–30 GB heaps; the datasets
+range from 2 GB to 200 GB.  Everything here is scaled by roughly 10⁴ while
+preserving the *occupancy regimes* that drive each figure:
+
+* a "40 GB" dataset fills ~45 % of the old generation in object form —
+  full collections are rare;
+* an "80 GB" dataset fills ~90 % — the futile-full-GC regime of §2.2
+  where Spark burns most of its time tracing live cached objects;
+* "100/200 GB" datasets exceed the storage budget — the swapping regime
+  of Appendix C.
+
+Each ``run_*_point`` executes one application under one mode with the
+family's fixed heap and returns a :class:`FigureRow` carrying the metrics
+the tables/figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..config import DecaConfig, ExecutionMode, GcAlgorithm, MB
+from ..data import (
+    clustered_points,
+    labeled_points,
+    power_law_graph,
+    random_words,
+)
+from ..apps.common import AppRun
+from ..apps.connected_components import run_connected_components
+from ..apps.kmeans import run_kmeans
+from ..apps.logistic_regression import run_logistic_regression
+from ..apps.pagerank import run_pagerank
+from ..apps.wordcount import run_wordcount
+
+
+@dataclass(frozen=True)
+class FigureRow:
+    """One data point of a table or figure."""
+
+    app: str
+    label: str
+    mode: str
+    exec_s: float
+    gc_s: float
+    cached_mb: float = 0.0
+    swapped_mb: float = 0.0
+    full_gcs: int = 0
+    minor_gcs: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def gc_fraction(self) -> float:
+        return self.gc_s / self.exec_s if self.exec_s > 0 else 0.0
+
+
+def _row(app: str, label: str, mode: ExecutionMode, run: AppRun,
+         **extra: Any) -> FigureRow:
+    metrics = run.metrics
+    return FigureRow(
+        app=app, label=label, mode=mode.value,
+        exec_s=metrics.wall_ms / 1000.0,
+        gc_s=metrics.gc_pause_ms / 1000.0,
+        cached_mb=run.cached_bytes / MB,
+        swapped_mb=run.swapped_cache_bytes / MB,
+        full_gcs=metrics.full_gc_count,
+        minor_gcs=metrics.minor_gc_count,
+        extra=dict(extra),
+    )
+
+
+# ---------------------------------------------------------------------------
+# LR / KMeans family (Fig. 9, Tables 3–5)
+# ---------------------------------------------------------------------------
+
+LR_HEAP_MB = 4
+LR_EXECUTORS = 2
+LR_DIMENSIONS = 10
+LR_PARTITIONS = 8
+# Bytes of one 10-dim LabeledPoint in object form: 24 (LP) + 32 (DV)
+# + 96 (double[10]) — see Fig. 2.
+_LR_OBJECT_BYTES = 152
+
+# Paper label -> old-generation occupancy of the Spark object cache.
+LR_SIZES: dict[str, float] = {
+    "40GB": 0.45,
+    "60GB": 0.65,
+    "80GB": 0.90,
+    "100GB": 1.15,
+    "200GB": 2.30,
+}
+
+
+def lr_config(mode: ExecutionMode, heap_mb: int = LR_HEAP_MB,
+              **overrides: Any) -> DecaConfig:
+    defaults: dict[str, Any] = dict(
+        mode=mode, heap_bytes=heap_mb * MB, num_executors=LR_EXECUTORS,
+        tasks_per_executor=2, page_bytes=256 * 1024,
+        young_fraction=0.25,
+        # The paper gives 90% of the memory to data caching in the
+        # caching-only experiments (§6.2).
+        storage_fraction=0.9, shuffle_fraction=0.1)
+    defaults.update(overrides)
+    return DecaConfig(**defaults)
+
+
+def lr_records_for(label: str, heap_mb: int = LR_HEAP_MB,
+                   dimensions: int = LR_DIMENSIONS) -> int:
+    """Record count that lands the Spark object cache at the label's
+    old-generation occupancy."""
+    occupancy = LR_SIZES[label]
+    old_bytes = heap_mb * MB * 0.75
+    object_bytes = 24 + 32 + (16 + 8 * dimensions + 7) // 8 * 8
+    total = occupancy * old_bytes * LR_EXECUTORS
+    return max(100, int(total / object_bytes))
+
+
+def run_lr_point(label: str, mode: ExecutionMode, iterations: int = 5,
+                 dimensions: int = LR_DIMENSIONS,
+                 heap_mb: int = LR_HEAP_MB,
+                 profile: bool = False,
+                 **config_overrides: Any) -> FigureRow:
+    records = lr_records_for(label, heap_mb, dimensions)
+    data = labeled_points(records, dimensions)
+    if profile:
+        # Sample densely enough for the run's simulated duration.
+        config_overrides.setdefault("profiler_period_ms", 5.0)
+    config = lr_config(mode, heap_mb, **config_overrides)
+    run = run_logistic_regression(data, config, iterations=iterations,
+                                  num_partitions=LR_PARTITIONS,
+                                  profile=profile)
+    row = _row("LR", label, mode, run, records=records)
+    row.extra["run"] = run
+    return row
+
+
+def run_kmeans_point(label: str, mode: ExecutionMode, k: int = 4,
+                     iterations: int = 5,
+                     dimensions: int = LR_DIMENSIONS,
+                     heap_mb: int = LR_HEAP_MB,
+                     **config_overrides: Any) -> FigureRow:
+    records = lr_records_for(label, heap_mb, dimensions)
+    data = clustered_points(records, dimensions, clusters=k)
+    config = lr_config(mode, heap_mb, **config_overrides)
+    run = run_kmeans(data, k=k, config=config, iterations=iterations,
+                     num_partitions=LR_PARTITIONS)
+    return _row("KMeans", label, mode, run, records=records)
+
+
+# ---------------------------------------------------------------------------
+# WordCount family (Fig. 8)
+# ---------------------------------------------------------------------------
+
+WC_HEAP_MB = 3
+# Paper label -> (words, unique keys); "10M"/"100M" key variants scale to
+# small/large shuffle-buffer populations.
+WC_SIZES: dict[tuple[str, str], tuple[int, int]] = {
+    ("50GB", "10M"): (30_000, 1_000),
+    ("100GB", "10M"): (60_000, 1_000),
+    ("150GB", "10M"): (90_000, 1_000),
+    ("50GB", "100M"): (30_000, 10_000),
+    ("100GB", "100M"): (60_000, 20_000),
+    ("150GB", "100M"): (90_000, 30_000),
+}
+
+
+def run_wc_point(size_label: str, keys_label: str, mode: ExecutionMode,
+                 profile: bool = False,
+                 **config_overrides: Any) -> FigureRow:
+    words, keys = WC_SIZES[(size_label, keys_label)]
+    data = random_words(words, keys)
+    if profile:
+        config_overrides.setdefault("profiler_period_ms", 2.0)
+    defaults: dict[str, Any] = dict(
+        mode=mode, heap_bytes=WC_HEAP_MB * MB, num_executors=2,
+        tasks_per_executor=2, page_bytes=256 * 1024,
+        storage_fraction=0.2, shuffle_fraction=0.8)
+    defaults.update(config_overrides)
+    run = run_wordcount(data, DecaConfig(**defaults), num_partitions=4,
+                        profile=profile)
+    row = _row("WC", f"{size_label}/{keys_label}", mode, run,
+               words=words, keys=keys)
+    row.extra["run"] = run
+    return row
+
+
+# ---------------------------------------------------------------------------
+# PageRank / ConnectedComponent family (Fig. 10)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GraphScale:
+    """A scaled stand-in for one of Table 2's graphs."""
+
+    name: str
+    label: str
+    vertices: int
+    edges: int
+
+
+GRAPH_SCALES: dict[str, GraphScale] = {
+    "LJ": GraphScale("LiveJournal", "LJ(2GB)", 4_800, 34_000),
+    "WB": GraphScale("WebBase", "WB(30GB)", 11_800, 100_000),
+    "HB": GraphScale("HiBench", "HB(60GB)", 30_000, 200_000),
+    "Pokec": GraphScale("Pokec", "Pokec", 1_600, 15_000),
+}
+
+GRAPH_HEAP_MB = 2.5
+
+
+def graph_config(mode: ExecutionMode, heap_mb: float = GRAPH_HEAP_MB,
+                 **overrides: Any) -> DecaConfig:
+    defaults: dict[str, Any] = dict(
+        mode=mode, heap_bytes=int(heap_mb * MB), num_executors=2,
+        tasks_per_executor=2, page_bytes=128 * 1024,
+        storage_fraction=0.4, shuffle_fraction=0.6)
+    defaults.update(overrides)
+    return DecaConfig(**defaults)
+
+
+def run_graph_point(app: str, scale_key: str, mode: ExecutionMode,
+                    iterations: int = 3,
+                    **config_overrides: Any) -> FigureRow:
+    """Run PR or CC on one scaled graph."""
+    scale = GRAPH_SCALES[scale_key]
+    edges = power_law_graph(scale.vertices, scale.edges)
+    config = graph_config(mode, **config_overrides)
+    if app == "PR":
+        run = run_pagerank(edges, config, iterations=iterations,
+                           num_partitions=8)
+    elif app == "CC":
+        run = run_connected_components(edges, config,
+                                       iterations=iterations,
+                                       num_partitions=8)
+    else:
+        raise ValueError(f"unknown graph app {app!r}")
+    return _row(app, scale.label, mode, run,
+                vertices=scale.vertices, edges=scale.edges)
+
+
+# ---------------------------------------------------------------------------
+# GC tuning points (Table 4)
+# ---------------------------------------------------------------------------
+
+def run_lr_tuning_point(storage_fraction: float,
+                        algorithm: GcAlgorithm,
+                        label: str = "80GB") -> FigureRow:
+    shuffle = round(1.0 - storage_fraction, 2)
+    return run_lr_point(
+        label, ExecutionMode.SPARK,
+        storage_fraction=storage_fraction,
+        shuffle_fraction=min(shuffle, 1.0 - storage_fraction),
+        gc_algorithm=algorithm)
+
+
+def run_pr_tuning_point(storage_fraction: float,
+                        algorithm: GcAlgorithm,
+                        scale_key: str = "WB") -> FigureRow:
+    return run_graph_point(
+        "PR", scale_key, ExecutionMode.SPARK,
+        storage_fraction=storage_fraction,
+        shuffle_fraction=round(1.0 - storage_fraction, 2),
+        gc_algorithm=algorithm)

@@ -1,0 +1,107 @@
+"""Table/figure rendering for benchmark results.
+
+Each benchmark prints the rows/series its paper counterpart reports and
+also writes them under ``benchmarks/results/`` so the run leaves a
+reviewable artifact (EXPERIMENTS.md links there).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+from .harness import FigureRow
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))),
+    "benchmarks", "results")
+
+
+def format_table(title: str, header: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned text table."""
+    materialized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(header)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0.0 and abs(value) < 0.005:
+            return f"{value:.2e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def rows_as_table(title: str, rows: Sequence[FigureRow],
+                  include_cache: bool = True) -> str:
+    """The standard exec/GC(/cache) presentation used by most figures."""
+    header = ["app", "point", "mode", "exec(s)", "gc(s)", "gc%"]
+    if include_cache:
+        header += ["cache(MB)", "swapped(MB)"]
+    body = []
+    for row in rows:
+        line: list[object] = [row.app, row.label, row.mode,
+                              row.exec_s, row.gc_s,
+                              f"{100 * row.gc_fraction:.1f}%"]
+        if include_cache:
+            line += [row.cached_mb, row.swapped_mb]
+        body.append(line)
+    return format_table(title, header, body)
+
+
+def write_result(name: str, content: str) -> str:
+    """Persist *content* under benchmarks/results/<name>.txt."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content + "\n")
+    return path
+
+
+def ascii_timeline(title: str, series: dict[str, list[tuple[float, float]]],
+                   width: int = 64, height: int = 12) -> str:
+    """Render (time, value) series as an ASCII chart.
+
+    Used by the lifetime benchmarks (Figs. 8a/9a) so the written artifact
+    shows the *shape* — the fluctuating Spark population vs Deca's flat
+    line — without any plotting dependency.  Each series gets a marker
+    character; overlapping points show the later series' marker.
+    """
+    points = [p for rows in series.values() for p in rows]
+    if not points:
+        return f"{title}\n(empty)"
+    t_max = max(t for t, _ in points) or 1.0
+    v_max = max(v for _, v in points) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x#@"
+    legend = []
+    for index, (name, rows) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend.append(f"{marker} = {name}")
+        for t, v in rows:
+            col = min(width - 1, int(t / t_max * (width - 1)))
+            row = min(height - 1, int(v / v_max * (height - 1)))
+            grid[height - 1 - row][col] = marker
+    lines = [title, "=" * len(title),
+             f"y: 0..{v_max:g}   x: 0..{t_max:g} ms   " + "  ".join(legend)]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    return "\n".join(lines)
+
+
+def speedup(baseline: FigureRow, improved: FigureRow) -> float:
+    """Execution-time speedup of *improved* over *baseline*."""
+    if improved.exec_s <= 0:
+        return float("inf")
+    return baseline.exec_s / improved.exec_s

@@ -1,0 +1,35 @@
+"""Deca's core: lifetime-based memory management (paper §4, §5).
+
+This package is the paper's contribution proper, assembled from the
+substrates:
+
+* :mod:`repro.core.containers` — the three data-container kinds and their
+  lifetime rules (§4.2);
+* :mod:`repro.core.decompose` — fully/partially-decomposable decisions for
+  objects shared between containers (§4.3.3);
+* :mod:`repro.core.optimizer` — the hybrid runtime optimizer (Appendix A):
+  intercepts each dataset/shuffle as jobs materialize it, runs the UDT
+  classification (Algorithms 1–4), resolves symbolic sizes with runtime
+  bindings, and emits cache/shuffle plans that the engine executes.
+"""
+
+from .containers import Container, ContainerKind, LifetimeRegistry
+from .decompose import DecompositionKind, decide_decomposition
+from .optimizer import DecaOptimizer, PlanReport
+from .fusion import FusedMapRDD, fuse
+from .codegen import compile_scan, generate_scan_source, scan_flat
+
+__all__ = [
+    "Container",
+    "ContainerKind",
+    "LifetimeRegistry",
+    "DecompositionKind",
+    "decide_decomposition",
+    "DecaOptimizer",
+    "PlanReport",
+    "FusedMapRDD",
+    "fuse",
+    "compile_scan",
+    "generate_scan_source",
+    "scan_flat",
+]

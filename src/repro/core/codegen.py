@@ -1,0 +1,145 @@
+"""Code transformation made concrete (paper Appendix B, Fig. 12).
+
+Deca rewrites UDF bytecode so that field accesses become offset-based
+reads of the page bytes: Fig. 12 shows the transformed LR gradient loop —
+``block.readDouble(offset)`` with hand-scheduled offset arithmetic, one
+reused result array, no object creation.
+
+This module performs the equivalent transformation as *Python source
+generation*: given a record schema, :func:`generate_scan_source` emits the
+text of a function that walks a page group with inline
+``struct.unpack_from`` calls at precomputed offsets (no accessor objects,
+no per-record tuples beyond what the caller's body builds), and
+:func:`compile_scan` compiles it.  The generated source is kept on the
+function (``__deca_source__``) so users can inspect their transformed
+loops the way Fig. 12 displays the transformed Scala.
+
+Only fixed-size schemas qualify — exactly the SFST condition under which
+Deca can schedule offsets statically (§3.1, Appendix B).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Iterator
+
+from ..errors import MemoryLayoutError
+from ..memory.layout import (
+    FixedArraySchema,
+    PrimitiveSlot,
+    RecordSchema,
+    Schema,
+)
+from ..memory.page import PageGroup
+
+_CODE_OF = {
+    "boolean": "?", "byte": "b", "char": "H", "short": "h",
+    "int": "i", "float": "f", "long": "q", "double": "d",
+}
+
+
+def _flatten(schema: Schema, prefix: str, offset: int,
+             out: list[tuple[str, str, int, int]]) -> int:
+    """Flatten a fixed schema into (name, struct-code, offset, count)."""
+    if isinstance(schema, PrimitiveSlot):
+        code = _CODE_OF[schema.primitive.name]
+        out.append((prefix, code, offset, 1))
+        return offset + schema.fixed_size
+    if isinstance(schema, FixedArraySchema):
+        element = schema.element
+        if not isinstance(element, PrimitiveSlot):
+            # Arrays of records: flatten each slot.
+            for index in range(schema.length):
+                offset = _flatten(element, f"{prefix}_{index}", offset,
+                                  out)
+            return offset
+        code = _CODE_OF[element.primitive.name]
+        out.append((prefix, code, offset, schema.length))
+        return offset + schema.fixed_size
+    if isinstance(schema, RecordSchema):
+        for name, field_schema in schema.fields:
+            offset = _flatten(field_schema, f"{prefix}_{name}"
+                              if prefix else name, offset, out)
+        return offset
+    raise MemoryLayoutError(
+        f"cannot generate static offsets for {schema!r}")
+
+
+def generate_scan_source(schema: RecordSchema,
+                         fn_name: str = "scan_records") -> str:
+    """Generate the source of a page-group scan function.
+
+    The function signature is ``fn(page_group)`` and it yields one tuple
+    ``(field0, field1, ...)`` per record, with array fields as tuples —
+    the same values ``schema.unpack`` produces, but with offsets scheduled
+    at generation time (Appendix B's "absolute field offset = object
+    start offset + relative field offset").
+    """
+    if schema.fixed_size is None:
+        raise MemoryLayoutError(
+            "static offset scheduling needs a fixed-size (SFST) schema; "
+            "runtime fixed-sized types keep the accessor path")
+    slots: list[tuple[str, str, int, int]] = []
+    _flatten(schema, "", 0, slots)
+
+    lines = [
+        f"def {fn_name}(page_group):",
+        f'    """Generated Deca scan for {schema.name} '
+        f'({schema.fixed_size} B/record)."""',
+        f"    stride = {schema.fixed_size}",
+    ]
+    for index, (name, code, offset, count) in enumerate(slots):
+        fmt = f"<{count}{code}" if count != 1 else f"<{code}"
+        lines.append(f"    _u{index} = _structs[{index}].unpack_from"
+                     f"  # {name} @ +{offset}")
+    lines.append("    for page in page_group.pages:")
+    lines.append("        data = page.data")
+    lines.append("        used = page.used")
+    lines.append("        base = 0")
+    lines.append("        while base < used:")
+    parts = []
+    for index, (name, code, offset, count) in enumerate(slots):
+        if count == 1:
+            lines.append(
+                f"            v{index} = _u{index}(data, base + {offset})[0]")
+        else:
+            lines.append(
+                f"            v{index} = _u{index}(data, base + {offset})")
+        parts.append(f"v{index}")
+    lines.append(f"            yield ({', '.join(parts)},)")
+    lines.append("            base += stride")
+    return "\n".join(lines) + "\n"
+
+
+def compile_scan(schema: RecordSchema,
+                 fn_name: str = "scan_records"
+                 ) -> Callable[[PageGroup], Iterator[tuple]]:
+    """Compile the generated scan function for *schema*.
+
+    The result carries its source on ``__deca_source__`` and the field
+    slot table on ``__deca_slots__``.
+    """
+    source = generate_scan_source(schema, fn_name)
+    slots: list[tuple[str, str, int, int]] = []
+    _flatten(schema, "", 0, slots)
+    structs = [struct.Struct(f"<{count}{code}" if count != 1
+                             else f"<{code}")
+               for _, code, _, count in slots]
+    namespace: dict = {"_structs": structs}
+    exec(compile(source, f"<deca-scan:{schema.name}>", "exec"), namespace)
+    fn = namespace[fn_name]
+    fn.__deca_source__ = source
+    fn.__deca_slots__ = tuple(slots)
+    return fn
+
+
+def scan_flat(page_group: PageGroup, schema: RecordSchema
+              ) -> Iterator[tuple]:
+    """Scan *page_group* with a freshly compiled flat reader.
+
+    Values come out *flattened* — nested records are splatted into the
+    top-level tuple in field order, arrays stay tuples — which is how the
+    transformed loops of Fig. 12 see the data (no object nesting exists
+    anymore).
+    """
+    return compile_scan(schema)(page_group)

@@ -1,0 +1,117 @@
+"""Data containers and their lifetimes (paper §4.2).
+
+Every object reference in a running job lives in one of three container
+kinds, and each kind has a statically known lifetime end point:
+
+* **UDF variables** — function-object fields and method locals; they die
+  when the task completes (locals effectively at each method return).
+* **Cache blocks** — the partitions of a cached RDD; they die when the
+  application calls ``unpersist()``.
+* **Shuffle buffers** — written by one phase, read by the next; they die
+  when the reading phase completes.  Within a buffer, §4.2 distinguishes
+  sort-based buffers (references live as long as the buffer), hash-based
+  buffers under ``reduceByKey`` (a Value reference dies at every combine),
+  and hash-based buffers under ``groupByKey`` (appends only — references
+  live as long as the buffer).
+
+:class:`LifetimeRegistry` records container open/close events against the
+simulated clock and enforces the no-use-after-close discipline that makes
+Deca's bulk reclamation safe.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..analysis.pointsto import ContainerKind
+from ..errors import ContainerError
+
+__all__ = ["ContainerKind", "ValueLifetime", "Container",
+           "LifetimeRegistry", "lifetime_rule"]
+
+
+class ValueLifetime(enum.Enum):
+    """When the references held by a container die (§4.2)."""
+
+    TASK_END = "task-end"                  # UDF variables
+    UNPERSIST = "unpersist"                # cache blocks
+    BUFFER_RELEASE = "buffer-release"      # sort / group shuffle buffers
+    EACH_COMBINE = "each-combine"          # reduceByKey Value references
+
+
+def lifetime_rule(kind: ContainerKind, *,
+                  eager_combine: bool = False) -> ValueLifetime:
+    """The paper's lifetime rule for a container of *kind*."""
+    if kind is ContainerKind.UDF_VARIABLES:
+        return ValueLifetime.TASK_END
+    if kind is ContainerKind.CACHE_BLOCK:
+        return ValueLifetime.UNPERSIST
+    if eager_combine:
+        return ValueLifetime.EACH_COMBINE
+    return ValueLifetime.BUFFER_RELEASE
+
+
+@dataclass
+class Container:
+    """One container instance during a run."""
+
+    kind: ContainerKind
+    name: str
+    stage_id: int
+    opened_ms: float = 0.0
+    closed_ms: float | None = None
+    # Page-infos / allocation groups are attached by the engine.
+    payload: object | None = None
+
+    @property
+    def closed(self) -> bool:
+        return self.closed_ms is not None
+
+    def check_open(self) -> None:
+        if self.closed:
+            raise ContainerError(
+                f"container {self.name!r} used after its lifetime ended")
+
+
+class LifetimeRegistry:
+    """Tracks container lifetimes across a run (for audits and tests)."""
+
+    def __init__(self) -> None:
+        self._containers: dict[str, Container] = {}
+        self.events: list[tuple[str, str, float]] = []
+
+    def open(self, kind: ContainerKind, name: str, stage_id: int,
+             now_ms: float) -> Container:
+        if name in self._containers \
+                and not self._containers[name].closed:
+            raise ContainerError(f"container {name!r} opened twice")
+        container = Container(kind=kind, name=name, stage_id=stage_id,
+                              opened_ms=now_ms)
+        self._containers[name] = container
+        self.events.append(("open", name, now_ms))
+        return container
+
+    def close(self, container: Container, now_ms: float) -> None:
+        container.check_open()
+        if now_ms < container.opened_ms:
+            raise ContainerError(
+                f"container {container.name!r} closed before it opened")
+        container.closed_ms = now_ms
+        self.events.append(("close", container.name, now_ms))
+
+    def get(self, name: str) -> Container:
+        try:
+            return self._containers[name]
+        except KeyError:
+            raise ContainerError(f"unknown container {name!r}") from None
+
+    def open_containers(self) -> list[Container]:
+        return [c for c in self._containers.values() if not c.closed]
+
+    def assert_all_closed(self) -> None:
+        """Audit hook: a finished run must have closed every container."""
+        leaked = [c.name for c in self.open_containers()]
+        if leaked:
+            raise ContainerError(
+                f"containers with unreleased lifetimes: {leaked}")

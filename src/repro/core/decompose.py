@@ -1,0 +1,86 @@
+"""Decomposition decisions for shared objects (paper §4.3.3).
+
+When the same objects are bound to several containers, Deca chooses among:
+
+* **fully decomposable** — the objects are SFST/RFST in every container:
+  the primary container owns the page group; secondaries hold pointers or
+  a shared page-info (reference counting keeps the group alive);
+* **partially decomposable** — at least one container cannot hold the
+  decomposed form, but the objects are immutable (or modifications need
+  not propagate): decompose only in the long-lived containers, keep object
+  form in the rest — Fig. 7(b)'s groupByKey-then-cache pattern;
+* **not decomposable** — a VST in a long-lived container: leave the
+  objects intact.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..analysis.pointsto import ContainerKind
+from ..analysis.size_type import SizeType
+
+
+class DecompositionKind(enum.Enum):
+    """The three outcomes of §4.3.3."""
+
+    FULL = "full"
+    PARTIAL = "partial"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class ContainerView:
+    """One container's view of a creation site's objects."""
+
+    kind: ContainerKind
+    size_type: SizeType
+    # Do changes made through this container have to be visible in the
+    # other containers sharing the objects?
+    propagates_modifications: bool = False
+
+
+@dataclass(frozen=True)
+class DecompositionDecision:
+    kind: DecompositionKind
+    # Containers that store decomposed bytes (page groups).
+    decomposed: tuple[ContainerView, ...] = ()
+    # Containers that keep object form.
+    object_form: tuple[ContainerView, ...] = ()
+    reason: str = ""
+
+
+def decide_decomposition(views: tuple[ContainerView, ...]
+                         ) -> DecompositionDecision:
+    """Apply §4.3.3 to the containers sharing one set of objects."""
+    if not views:
+        return DecompositionDecision(DecompositionKind.NONE,
+                                     reason="no containers")
+    # UDF variables never force object form: they receive pointers into
+    # the primary's pages (§4.3.3, first paragraph).
+    material = tuple(v for v in views
+                     if v.kind is not ContainerKind.UDF_VARIABLES)
+    if not material:
+        return DecompositionDecision(
+            DecompositionKind.NONE, object_form=views,
+            reason="objects only ever referenced by UDF variables")
+    if all(v.size_type.decomposable for v in material):
+        return DecompositionDecision(
+            DecompositionKind.FULL, decomposed=material,
+            object_form=tuple(v for v in views if v not in material),
+            reason="SFST/RFST in every container")
+    decomposable = tuple(v for v in material if v.size_type.decomposable)
+    blocked = tuple(v for v in material if not v.size_type.decomposable)
+    if decomposable and not any(v.propagates_modifications
+                                for v in blocked):
+        return DecompositionDecision(
+            DecompositionKind.PARTIAL, decomposed=decomposable,
+            object_form=blocked + tuple(
+                v for v in views if v.kind is ContainerKind.UDF_VARIABLES),
+            reason="decomposable only in some containers; modifications "
+                   "do not propagate from the others")
+    return DecompositionDecision(
+        DecompositionKind.NONE, object_form=views,
+        reason="variable-sized (or recursively-defined) everywhere, or "
+               "modifications must propagate")

@@ -1,0 +1,121 @@
+"""Iterator fusion (paper §5, pre-processing phase).
+
+Deca "uses iterator fusion [Steno, PLDI'11] to bundle the iterative and
+isolated invocations of UDFs into larger, hopefully optimizable code
+regions".  In the engine this means collapsing chains of per-record narrow
+transformations (``map``/``filter``) into a single operator:
+
+* one loop instead of a stack of nested iterators — the fused operator
+  pays each stage's declared compute cost but only **one** per-record UDF
+  dispatch;
+* intermediate records disappear — only the final record of the chain
+  allocates a temporary object graph, which is the real memory win.
+
+Fusion never crosses a ``cache()`` boundary (the cached dataset must
+materialize as declared), a shuffle, or an RDD consumed by more than one
+child (fusing would duplicate its work).  It is applied explicitly::
+
+    from repro.core.fusion import fuse
+    result = fuse(words.map(parse).filter(valid).map(project)).collect()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from ..spark.rdd import MapPartitionsRDD, RDD
+
+FusedOp = tuple[str, Callable[[Any], Any]]
+
+
+class FusedMapRDD(MapPartitionsRDD):
+    """A chain of map/filter stages executed in one per-record loop."""
+
+    def __init__(self, source: RDD, ops: list[FusedOp], name: str,
+                 udt_info=None,
+                 record_cost_ms: float | None = None) -> None:
+        def body(it, task):
+            return _run_pipeline(it, ops)
+        super().__init__(source, body, name, per_record=True,
+                         udt_info=udt_info, record_cost_ms=record_cost_ms)
+        self.ops = ops
+
+    @property
+    def fused_length(self) -> int:
+        return len(self.ops)
+
+
+def _run_pipeline(records: Iterator[Any],
+                  ops: list[FusedOp]) -> Iterator[Any]:
+    for record in records:
+        keep = True
+        for kind, fn in ops:
+            if kind == "map":
+                record = fn(record)
+            elif not fn(record):
+                keep = False
+                break
+        if keep:
+            yield record
+
+
+def _op_of(rdd: RDD) -> FusedOp | None:
+    """The (kind, fn) of a fusible stage, or None."""
+    if not isinstance(rdd, MapPartitionsRDD):
+        return None
+    fn = getattr(rdd, "_record_fn", None)
+    kind = getattr(rdd, "_record_kind", None)
+    if fn is None or kind not in ("map", "filter"):
+        return None
+    return kind, fn
+
+
+def fusible_chain(rdd: RDD) -> tuple[RDD, list[tuple[RDD, FusedOp]]]:
+    """The maximal fusible suffix ending at *rdd*.
+
+    Returns ``(source, [(stage, op), ...])`` outermost-last; the chain is
+    empty when *rdd* itself is not fusible.
+    """
+    consumers = _consumer_counts(rdd.ctx)
+    chain: list[tuple[RDD, FusedOp]] = []
+    node: RDD = rdd
+    while True:
+        op = _op_of(node)
+        if op is None:
+            return node, chain
+        if node.is_cached:
+            # A cache point must materialize exactly as declared.
+            return node, chain
+        if node is not rdd and consumers.get(node.rdd_id, 0) > 1:
+            return node, chain
+        chain.append((node, op))
+        node = node.deps[0].parent
+
+
+def fuse(rdd: RDD) -> RDD:
+    """Fuse *rdd*'s trailing map/filter chain into one operator.
+
+    Returns *rdd* unchanged when fewer than two stages are fusible.
+    """
+    source, chain = fusible_chain(rdd)
+    if len(chain) < 2:
+        return rdd
+    ops = [op for _, op in reversed(chain)]
+    explicit = [getattr(stage, "_record_cost_ms", None)
+                for stage, _ in chain]
+    costs = [c for c in explicit if c is not None]
+    record_cost = sum(costs) if costs else None
+    return FusedMapRDD(
+        source, ops,
+        name=f"{rdd.name}#fused{len(ops)}",
+        udt_info=rdd.udt_info,
+        record_cost_ms=record_cost)
+
+
+def _consumer_counts(ctx) -> dict[int, int]:
+    counts: dict[int, int] = {}
+    for other in ctx._rdds.values():
+        for dep in other.deps:
+            counts[dep.parent.rdd_id] = \
+                counts.get(dep.parent.rdd_id, 0) + 1
+    return counts

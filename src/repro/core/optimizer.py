@@ -1,0 +1,255 @@
+"""The hybrid Deca optimizer (paper §5, Appendix A).
+
+A static enumeration of every possible job suffers path explosion, so Deca
+optimizes *at runtime*: when a job first materializes a cached dataset or
+a shuffle, the optimizer
+
+1. runs the UDT classification — local (Algorithm 1) then global
+   (Algorithms 2–4) over the dataset's declared stage call graph;
+2. resolves the symbolic array lengths of the analysis against the job's
+   runtime symbol bindings (the driver knows the actual dimension by now);
+3. maps the objects to their containers and applies the ownership and
+   decomposition rules of §4.3;
+4. emits a :class:`~repro.spark.context.CachePlan` /
+   :class:`~repro.spark.shuffle.ShufflePlan` that the engine executes —
+   the stand-in for the bytecode transformation of Appendix B, with
+   synthesized accessor classes taking the place of rewritten methods.
+
+Plans are memoized per dataset/shuffle, mirroring how transformed classes
+are generated once and shipped to every executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..analysis.global_refine import GlobalClassifier
+from ..analysis.local import classify_locally
+from ..analysis.size_type import SizeType
+from ..analysis.symconst import Affine
+from ..analysis.udt import ClassType, PrimitiveType
+from ..errors import MemoryLayoutError
+from ..memory.layout import build_schema
+from ..spark.cache import StorageStrategy
+from ..spark.shuffle import ShuffleKind, ShufflePlan
+
+if TYPE_CHECKING:
+    from ..spark.context import CachePlan as CachePlanT, DecaContext
+    from ..spark.rdd import RDD, ShuffleDependency, UdtInfo
+
+
+@dataclass(frozen=True)
+class PlanReport:
+    """What the optimizer decided for one dataset/shuffle, and why."""
+
+    target: str
+    udt: str | None
+    local_size_type: SizeType | None
+    global_size_type: SizeType | None
+    decomposed: bool
+    reason: str
+
+
+class DecaOptimizer:
+    """Plans cache and shuffle storage for a context in DECA mode."""
+
+    def __init__(self, ctx: "DecaContext") -> None:
+        self.ctx = ctx
+        self._cache_plans: dict[int, "CachePlanT"] = {}
+        self._shuffle_plans: dict[int, ShufflePlan] = {}
+        self.reports: list[PlanReport] = []
+
+    # -- cached datasets --------------------------------------------------------
+    def plan_cache(self, rdd: "RDD") -> "CachePlanT":
+        cached = self._cache_plans.get(rdd.rdd_id)
+        if cached is not None:
+            return cached
+        plan = self._plan_cache_uncached(rdd)
+        self._cache_plans[rdd.rdd_id] = plan
+        return plan
+
+    def _plan_cache_uncached(self, rdd: "RDD") -> "CachePlanT":
+        from ..spark.context import CachePlan
+
+        info = rdd.udt_info
+        if info is None:
+            self.reports.append(PlanReport(
+                target=f"cache:{rdd.name}", udt=None,
+                local_size_type=None, global_size_type=None,
+                decomposed=False, reason="no UDT declared"))
+            return CachePlan(StorageStrategy.OBJECTS)
+
+        local, refined, classifier = self._classify(info)
+        if refined is None or not refined.decomposable:
+            self.reports.append(PlanReport(
+                target=f"cache:{rdd.name}", udt=info.udt.name,
+                local_size_type=local, global_size_type=refined,
+                decomposed=False,
+                reason=f"size-type {refined.value if refined else '?'} "
+                       "cannot be safely decomposed"))
+            return CachePlan(StorageStrategy.OBJECTS)
+
+        fixed_lengths = self._resolve_fixed_lengths(info, classifier)
+        try:
+            schema = build_schema(info.udt, refined,
+                                  fixed_lengths=fixed_lengths)
+        except MemoryLayoutError as exc:
+            self.reports.append(PlanReport(
+                target=f"cache:{rdd.name}", udt=info.udt.name,
+                local_size_type=local, global_size_type=refined,
+                decomposed=False, reason=f"layout failed: {exc}"))
+            return CachePlan(StorageStrategy.OBJECTS)
+
+        self.reports.append(PlanReport(
+            target=f"cache:{rdd.name}", udt=info.udt.name,
+            local_size_type=local, global_size_type=refined,
+            decomposed=True,
+            reason="decomposed into cache-block page groups"))
+        return CachePlan(StorageStrategy.DECA_PAGES, schema=schema,
+                         encode=info.to_schema_value,
+                         decode=info.from_schema_value)
+
+    # -- shuffles ---------------------------------------------------------------
+    def plan_shuffle(self, dep: "ShuffleDependency") -> ShufflePlan:
+        cached = self._shuffle_plans.get(dep.shuffle_id)
+        if cached is not None:
+            return cached
+        plan = self._plan_shuffle_uncached(dep)
+        self._shuffle_plans[dep.shuffle_id] = plan
+        return plan
+
+    def _plan_shuffle_uncached(self, dep: "ShuffleDependency"
+                               ) -> ShufflePlan:
+        parent = dep.parent
+        info = parent.udt_info
+        measure = parent.measure_record
+        target = f"shuffle:{dep.shuffle_id}:{parent.name}"
+        if info is None:
+            self.reports.append(PlanReport(
+                target=target, udt=None, local_size_type=None,
+                global_size_type=None, decomposed=False,
+                reason="no UDT declared for the shuffled records"))
+            return ShufflePlan(measure=measure)
+
+        local, refined, classifier = self._classify(info)
+        if refined is None or not refined.decomposable:
+            # Fig. 7(b): a grouped Value array is a VST inside the buffer;
+            # the buffer keeps object form (a later cache may still
+            # decompose — that is the cache plan's business).
+            self.reports.append(PlanReport(
+                target=target, udt=info.udt.name, local_size_type=local,
+                global_size_type=refined, decomposed=False,
+                reason="records not decomposable inside the buffer"))
+            return ShufflePlan(measure=measure)
+
+        fixed_lengths = self._resolve_fixed_lengths(info, classifier)
+        try:
+            schema = build_schema(info.udt, refined,
+                                  fixed_lengths=fixed_lengths)
+        except MemoryLayoutError as exc:
+            self.reports.append(PlanReport(
+                target=target, udt=info.udt.name, local_size_type=local,
+                global_size_type=refined, decomposed=False,
+                reason=f"layout failed: {exc}"))
+            return ShufflePlan(measure=measure)
+
+        value_reuse = (dep.kind is ShuffleKind.COMBINE
+                       and self._value_field_is_sfst(info, classifier))
+        pointer_array = not self._statically_addressable(info, classifier)
+        self.reports.append(PlanReport(
+            target=target, udt=info.udt.name, local_size_type=local,
+            global_size_type=refined, decomposed=True,
+            reason="decomposed into shuffle-buffer page groups"
+                   + (" with value segment reuse" if value_reuse else "")
+                   + ("" if pointer_array else ", pointer array elided")))
+        return ShufflePlan(decomposed=True,
+                           value_segment_reuse=value_reuse,
+                           pointer_array=pointer_array,
+                           schema=schema,
+                           encode=info.to_schema_value,
+                           measure=measure)
+
+    # -- shared machinery ------------------------------------------------------------
+    def _classify(self, info: "UdtInfo") -> tuple[
+            SizeType, SizeType | None, GlobalClassifier | None]:
+        local = classify_locally(info.udt)
+        callgraph = info.callgraph()
+        if callgraph is None:
+            # No code to analyze: only the local result is available.
+            return local, local, None
+        classifier = GlobalClassifier(
+            callgraph, assume_init_only=info.assume_init_only)
+        return local, classifier.classify(info.udt), classifier
+
+    def _resolve_fixed_lengths(self, info: "UdtInfo",
+                               classifier: GlobalClassifier | None
+                               ) -> dict[int, int]:
+        """Turn proved-equal symbolic lengths into concrete integers.
+
+        The analysis proves *equality* of allocation lengths; the runtime
+        optimizer knows the actual values (Appendix A's hybrid split) via
+        ``info.runtime_symbols``.
+        """
+        if classifier is None:
+            return {}
+        fixed: dict[int, int] = {}
+        facts = classifier.callgraph.facts
+        for type_id, sites in facts.array_sites.items():
+            if not sites:
+                continue
+            length = sites[0].length
+            if not isinstance(length, Affine):
+                continue
+            if any(site.length != length for site in sites):
+                continue
+            resolved = self._resolve_affine(length, info.runtime_symbols)
+            if resolved is not None:
+                fixed[type_id] = resolved
+        return fixed
+
+    @staticmethod
+    def _resolve_affine(length: Affine,
+                        symbols: dict[str, int]) -> int | None:
+        total = length.offset
+        for label, coeff in length.coeffs:
+            value = symbols.get(label)
+            if value is None:
+                return None
+            total += coeff * value
+        if total < 0 or total != int(total):
+            return None
+        return int(total)
+
+    def _value_field_is_sfst(self, info: "UdtInfo",
+                             classifier: GlobalClassifier | None) -> bool:
+        """Is the Value part of a KV pair an SFST (segment reuse, §4.3.2)?"""
+        udt = info.udt
+        if not isinstance(udt, ClassType) or len(udt.fields) < 2:
+            return False
+        value_field = udt.fields[-1]
+        return self._field_is_sfst(value_field, classifier)
+
+    def _statically_addressable(self, info: "UdtInfo",
+                                classifier: GlobalClassifier | None
+                                ) -> bool:
+        """Both Key and Value primitives/SFSTs → offsets are static and
+        the pointer array can be elided (§4.3.2)."""
+        udt = info.udt
+        if not isinstance(udt, ClassType):
+            return False
+        return all(self._field_is_sfst(field, classifier)
+                   for field in udt.fields)
+
+    def _field_is_sfst(self, field, classifier) -> bool:
+        for runtime_type in field.get_type_set():
+            if isinstance(runtime_type, PrimitiveType):
+                continue
+            if classifier is None:
+                if classify_locally(runtime_type) \
+                        is not SizeType.STATIC_FIXED:
+                    return False
+            elif classifier.classify(runtime_type) \
+                    is not SizeType.STATIC_FIXED:
+                return False
+        return True

@@ -1,0 +1,26 @@
+"""Synthetic dataset generators standing in for the paper's inputs.
+
+The paper's datasets are tens-to-hundreds of gigabytes (Hadoop RandomWriter
+text, Amazon image feature vectors, LiveJournal/WebBase/HiBench graphs, a
+Common Crawl sample); none are shippable here, so each generator produces a
+scaled-down synthetic equivalent with the same *distributional* properties
+that drive the experiments — key cardinality for WC, dimensionality for
+LR/KMeans, power-law degrees for PR/CC, and the rankings/uservisits schema
+for the SQL queries.
+"""
+
+from .text import random_words
+from .vectors import labeled_points, clustered_points
+from .graphs import graph_preset, power_law_graph, GRAPH_PRESETS
+from .tables import rankings_table, uservisits_table
+
+__all__ = [
+    "random_words",
+    "labeled_points",
+    "clustered_points",
+    "graph_preset",
+    "power_law_graph",
+    "GRAPH_PRESETS",
+    "rankings_table",
+    "uservisits_table",
+]

@@ -1,0 +1,75 @@
+"""The rankings / uservisits tables for the SQL comparison (§6.6).
+
+The paper samples the Common Crawl document corpus using the Big Data
+Benchmark's two-table schema:
+
+* ``rankings(pageURL, pageRank, avgDuration)``
+* ``uservisits(sourceIP, destURL, visitDate, adRevenue, userAgent,
+  countryCode, languageCode, searchWord, duration)``
+
+and runs a filter query over rankings and a GroupBy-SUM over uservisits'
+``SUBSTR(sourceIP, 1, 5)``.  These generators produce scaled synthetic
+rows with matched column shapes: Zipf-ish pageRanks and dotted-quad source
+IPs whose 5-character prefixes form the aggregation keys.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import DecaError
+
+RankingRow = tuple[str, int, int]
+UserVisitRow = tuple[str, str, int, float, str, str, str, str, int]
+
+
+def rankings_table(rows: int, seed: int = 59) -> list[RankingRow]:
+    """Synthetic ``rankings`` rows: (pageURL, pageRank, avgDuration)."""
+    if rows < 0:
+        raise DecaError("rows cannot be negative")
+    rng = random.Random(seed)
+    out: list[RankingRow] = []
+    for i in range(rows):
+        url = f"url{i:08d}.example.com/page"
+        # Heavy-tailed pageRank so the >100 filter keeps a small slice.
+        rank = int(rng.paretovariate(1.2) * 10)
+        duration = rng.randint(1, 60)
+        out.append((url, rank, duration))
+    return out
+
+
+def uservisits_table(rows: int, ip_prefixes: int = 500,
+                     seed: int = 61) -> list[UserVisitRow]:
+    """Synthetic ``uservisits`` rows.
+
+    *ip_prefixes* controls the cardinality of ``SUBSTR(sourceIP, 1, 5)``,
+    i.e. the number of groups Query 2 aggregates into.
+    """
+    if rows < 0:
+        raise DecaError("rows cannot be negative")
+    if ip_prefixes < 1:
+        raise DecaError("ip_prefixes must be >= 1")
+    rng = random.Random(seed)
+    agents = ["Mozilla/5.0", "Safari/13.1", "Chrome/88.0", "curl/7.64"]
+    countries = ["USA", "CHN", "DNK", "GBR", "DEU"]
+    languages = ["en", "zh", "da", "de", "fr"]
+    words = ["vldb", "spark", "deca", "memory", "gc"]
+    out: list[UserVisitRow] = []
+    for i in range(rows):
+        # First octet pinned to 3 digits so the 5-char prefix is stable
+        # (e.g. "101.2"), giving a controllable group count.
+        first = 100 + (rng.randrange(ip_prefixes) // 10)
+        second = rng.randrange(ip_prefixes) % 100
+        ip = f"{first}.{second}.{rng.randrange(256)}.{rng.randrange(256)}"
+        url = f"url{rng.randrange(max(1, rows // 10)):08d}.example.com"
+        date = 20090000 + rng.randrange(10000)
+        revenue = rng.random() * 10.0
+        out.append((
+            ip, url, date, revenue,
+            agents[rng.randrange(len(agents))],
+            countries[rng.randrange(len(countries))],
+            languages[rng.randrange(len(languages))],
+            words[rng.randrange(len(words))],
+            rng.randint(1, 600),
+        ))
+    return out

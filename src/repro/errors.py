@@ -1,0 +1,87 @@
+"""Exception hierarchy for the Deca reproduction.
+
+All library errors derive from :class:`DecaError` so that callers can catch
+one base type.  Subsystems raise the most specific subclass available; none
+of these wrap arbitrary exceptions silently.
+"""
+
+from __future__ import annotations
+
+
+class DecaError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(DecaError):
+    """An invalid or inconsistent :class:`repro.config.DecaConfig`."""
+
+
+class HeapError(DecaError):
+    """Base class for simulated-heap failures."""
+
+
+class OutOfMemoryError(HeapError):
+    """The simulated heap cannot satisfy an allocation even after a full GC.
+
+    Mirrors ``java.lang.OutOfMemoryError`` in the simulated JVM.
+    """
+
+
+class AllocationError(HeapError):
+    """An allocation request was malformed (negative size, dead group, ...)."""
+
+
+class AnalysisError(DecaError):
+    """Base class for UDT-classification / code-analysis failures."""
+
+
+class TypeGraphError(AnalysisError):
+    """A malformed UDT definition (unknown field type, bad type-set, ...)."""
+
+
+class IRError(AnalysisError):
+    """A malformed method body in the mini-IR."""
+
+
+class MemoryLayoutError(DecaError):
+    """A UDT cannot be laid out into bytes (e.g. it is a VST)."""
+
+
+class PageError(DecaError):
+    """Base class for page / page-group misuse."""
+
+
+class PageOverflowError(PageError):
+    """A write would run past the end of the allocated segment."""
+
+
+class PageReclaimedError(PageError):
+    """An access through a page-info whose page group was already reclaimed."""
+
+
+class ContainerError(DecaError):
+    """Misuse of a data container (double release, write after seal, ...)."""
+
+
+class OptimizerError(DecaError):
+    """The Deca optimizer could not produce a plan for a job."""
+
+
+class ExecutionError(DecaError):
+    """A job failed while executing on the mini Spark engine."""
+
+
+class ShuffleError(ExecutionError):
+    """A shuffle read/write failure."""
+
+
+class CacheError(ExecutionError):
+    """A cache-manager failure (unknown block, bad storage level, ...)."""
+
+
+class SqlError(DecaError):
+    """An error in the mini columnar SQL engine (Table 6 baseline)."""
+
+
+class SchemaError(SqlError):
+    """A malformed schema or a row that does not match its schema."""

@@ -1,0 +1,47 @@
+"""Simulated managed runtime (the "JVM" substrate).
+
+The paper's mechanism is that tracing-GC cost grows with the number of live
+objects in the heap, so millions of long-living cached objects saturate the
+collector (§2.1).  CPython has no tracing collector, so this package provides
+a discrete-event equivalent: a generational :class:`~repro.jvm.heap.SimHeap`
+whose minor/full collections charge simulated time proportional to the live
+object population, with pluggable collector cost models (Parallel Scavenge,
+CMS, G1 — :mod:`repro.jvm.collectors`).
+
+Allocation is expressed in *allocation groups*
+(:class:`~repro.jvm.objects.AllocationGroup`): cohorts of objects that share
+a lifetime, which is exactly the granularity Deca reasons at.
+"""
+
+from .sizing import (
+    ALIGNMENT,
+    ARRAY_HEADER_BYTES,
+    OBJECT_HEADER_BYTES,
+    REFERENCE_BYTES,
+    align,
+    array_bytes,
+    object_bytes,
+    primitive_bytes,
+)
+from .objects import AllocationGroup, Lifetime
+from .collectors import CollectorModel
+from .heap import SimHeap
+from .stats import GcEvent, GcKind, GcStats
+
+__all__ = [
+    "ALIGNMENT",
+    "ARRAY_HEADER_BYTES",
+    "OBJECT_HEADER_BYTES",
+    "REFERENCE_BYTES",
+    "align",
+    "array_bytes",
+    "object_bytes",
+    "primitive_bytes",
+    "AllocationGroup",
+    "Lifetime",
+    "CollectorModel",
+    "SimHeap",
+    "GcEvent",
+    "GcKind",
+    "GcStats",
+]

@@ -1,0 +1,87 @@
+"""JVM object-layout arithmetic.
+
+These functions reproduce the memory footprint of objects on a 64-bit
+Hotspot JVM with compressed ordinary object pointers (the configuration the
+paper's 20–30 GB heaps run under):
+
+* every object carries a 12-byte header, padded to 8-byte alignment;
+* arrays carry an extra 4-byte length slot (16-byte header total);
+* references are 4 bytes (compressed oops).
+
+Figure 2 of the paper is exactly this arithmetic: a cached ``LabeledPoint``
+costs three headers plus two references plus the primitives, whereas the
+decomposed form costs the primitives alone.  The cache-size bars of
+Figs. 9–10 and Table 6 come out of these numbers.
+"""
+
+from __future__ import annotations
+
+from ..errors import TypeGraphError
+
+ALIGNMENT = 8
+OBJECT_HEADER_BYTES = 12
+ARRAY_HEADER_BYTES = 16
+REFERENCE_BYTES = 4
+
+_PRIMITIVE_BYTES: dict[str, int] = {
+    "boolean": 1,
+    "byte": 1,
+    "char": 2,
+    "short": 2,
+    "int": 4,
+    "float": 4,
+    "long": 8,
+    "double": 8,
+}
+
+
+def primitive_bytes(name: str) -> int:
+    """Size of the JVM primitive *name* (``"int"``, ``"double"``, ...)."""
+    try:
+        return _PRIMITIVE_BYTES[name]
+    except KeyError:
+        raise TypeGraphError(f"unknown primitive type: {name!r}") from None
+
+
+def align(size: int, alignment: int = ALIGNMENT) -> int:
+    """Round *size* up to the next multiple of *alignment*."""
+    if size < 0:
+        raise TypeGraphError(f"negative size: {size}")
+    remainder = size % alignment
+    if remainder == 0:
+        return size
+    return size + alignment - remainder
+
+
+def object_bytes(reference_fields: int, primitive_field_bytes: int) -> int:
+    """Heap footprint of one plain object.
+
+    *reference_fields* is the number of reference-typed instance fields and
+    *primitive_field_bytes* the summed size of the primitive ones.
+    """
+    if reference_fields < 0 or primitive_field_bytes < 0:
+        raise TypeGraphError("field counts cannot be negative")
+    payload = reference_fields * REFERENCE_BYTES + primitive_field_bytes
+    return align(OBJECT_HEADER_BYTES + payload)
+
+
+def array_bytes(element_bytes: int, length: int) -> int:
+    """Heap footprint of one array of *length* elements of *element_bytes*.
+
+    For reference arrays pass ``element_bytes=REFERENCE_BYTES``.
+    """
+    if element_bytes <= 0:
+        raise TypeGraphError(f"element size must be positive: {element_bytes}")
+    if length < 0:
+        raise TypeGraphError(f"negative array length: {length}")
+    return align(ARRAY_HEADER_BYTES + element_bytes * length)
+
+
+def boxed_bytes(primitive: str) -> int:
+    """Heap footprint of a boxed primitive (``java.lang.Double`` etc.).
+
+    Generic containers (Spark shuffle buffers holding ``Tuple2[K, V]``) box
+    their primitives; Table 5 attributes part of Deca's PR speedup to
+    avoiding exactly this.
+    """
+    return object_bytes(0, primitive_bytes(primitive))

@@ -1,0 +1,80 @@
+"""GC event log and aggregate statistics for the simulated heap."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class GcKind(enum.Enum):
+    """Which collection ran."""
+
+    MINOR = "minor"
+    FULL = "full"
+
+
+@dataclass(frozen=True)
+class GcEvent:
+    """One garbage collection, as the paper's GC logs would record it."""
+
+    kind: GcKind
+    start_ms: float
+    pause_ms: float
+    concurrent_ms: float
+    traced_objects: int
+    reclaimed_bytes: int
+    promoted_bytes: int
+    live_objects_after: int
+    used_bytes_after: int
+
+    @property
+    def total_cost_ms(self) -> float:
+        """Pause plus concurrent collector CPU time."""
+        return self.pause_ms + self.concurrent_ms
+
+
+@dataclass
+class GcStats:
+    """Aggregate collector statistics for one simulated heap."""
+
+    events: list[GcEvent] = field(default_factory=list)
+
+    def record(self, event: GcEvent) -> None:
+        self.events.append(event)
+
+    # -- aggregates -----------------------------------------------------------
+    @property
+    def minor_count(self) -> int:
+        return sum(1 for e in self.events if e.kind is GcKind.MINOR)
+
+    @property
+    def full_count(self) -> int:
+        return sum(1 for e in self.events if e.kind is GcKind.FULL)
+
+    @property
+    def pause_ms(self) -> float:
+        """Total stop-the-world time (what the paper reports as "GC time")."""
+        return sum(e.pause_ms for e in self.events)
+
+    @property
+    def concurrent_ms(self) -> float:
+        """Total concurrent collector CPU time (CMS/G1 background work)."""
+        return sum(e.concurrent_ms for e in self.events)
+
+    @property
+    def minor_pause_ms(self) -> float:
+        return sum(e.pause_ms for e in self.events if e.kind is GcKind.MINOR)
+
+    @property
+    def full_pause_ms(self) -> float:
+        return sum(e.pause_ms for e in self.events if e.kind is GcKind.FULL)
+
+    @property
+    def reclaimed_bytes(self) -> int:
+        return sum(e.reclaimed_bytes for e in self.events)
+
+    def merged_with(self, other: "GcStats") -> "GcStats":
+        """Combine two logs (e.g. across executors), ordered by start time."""
+        merged = GcStats(events=sorted(
+            self.events + other.events, key=lambda e: e.start_ms))
+        return merged

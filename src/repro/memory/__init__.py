@@ -1,0 +1,44 @@
+"""Deca's page-based memory: real byte-level object decomposition.
+
+Unlike the GC substrate (which is simulated), this package is the genuine
+article: UDT objects are flattened into byte segments inside fixed-size
+pages, with field offsets computed from the type layout and *synthesized
+accessor classes* (SUDTs, Appendix B) reading and writing the raw bytes —
+no per-record Python objects survive.
+
+* :mod:`repro.memory.layout` — byte-layout schemas for decomposable UDTs:
+  field offsets, data-size computation, pack/unpack;
+* :mod:`repro.memory.sudt` — synthesized accessor classes over segments;
+* :mod:`repro.memory.page` — :class:`Page`, :class:`PageInfo` and
+  :class:`PageGroup` (§4.3.1), with reference-counted reclamation;
+* :mod:`repro.memory.manager` — the per-executor memory manager: page-group
+  registry, LRU bookkeeping and eviction under heap pressure.
+"""
+
+from .layout import (
+    FixedArraySchema,
+    PrimitiveSlot,
+    RecordSchema,
+    Schema,
+    VarArraySchema,
+    build_schema,
+)
+from .sudt import SudtClass, synthesize_sudt
+from .page import Page, PageGroup, PageInfo, PagePointer
+from .manager import DecaMemoryManager
+
+__all__ = [
+    "FixedArraySchema",
+    "PrimitiveSlot",
+    "RecordSchema",
+    "Schema",
+    "VarArraySchema",
+    "build_schema",
+    "SudtClass",
+    "synthesize_sudt",
+    "Page",
+    "PageGroup",
+    "PageInfo",
+    "PagePointer",
+    "DecaMemoryManager",
+]

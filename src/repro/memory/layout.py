@@ -1,0 +1,419 @@
+"""Byte-layout schemas for decomposed UDTs (paper §2.3, Appendix B).
+
+A *schema* describes how one UDT instance is flattened into a byte
+sequence: all object headers and references are discarded; primitive fields
+are stored in declaration order; nested SFST/RFST objects are inlined.
+Arrays come in two flavours:
+
+* **fixed-length** arrays (proved by the global analysis, e.g. the
+  ``features.data`` array of LR whose length is the global constant ``D``)
+  are inlined with no length slot — their element offsets are static;
+* **variable-length** arrays (RFSTs: per-instance length fixed after
+  construction, e.g. a String's character array) carry a 4-byte length
+  prefix, and offsets after them are computed at access time — the
+  "synthesized static methods to compute the data size" of Appendix B.
+
+Schemas *pack* Python values into buffers and *unpack* them back; the
+record values are plain tuples in field order, arrays are tuples of element
+values.  :mod:`repro.memory.sudt` builds attribute-style accessors on top.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Sequence
+
+from ..analysis.size_type import SizeType
+from ..analysis.udt import (
+    ArrayType,
+    ClassType,
+    DataType,
+    PrimitiveType,
+)
+from ..errors import MemoryLayoutError
+
+_STRUCT_CODES: dict[str, str] = {
+    "boolean": "?",
+    "byte": "b",
+    "char": "H",   # a UTF-16 code unit, as on the JVM
+    "short": "h",
+    "int": "i",
+    "float": "f",
+    "long": "q",
+    "double": "d",
+}
+
+_LENGTH_PREFIX = struct.Struct("<I")
+
+
+class Schema:
+    """Base class for layout nodes.
+
+    ``fixed_size`` is the byte size of every instance, or ``None`` when the
+    size is per-instance (variable-length arrays in the graph).
+    """
+
+    fixed_size: int | None
+
+    def size_of(self, value: Any) -> int:
+        """Packed size of *value* under this schema."""
+        raise NotImplementedError
+
+    def pack_into(self, buffer: bytearray | memoryview, offset: int,
+                  value: Any) -> int:
+        """Write *value* at *offset*; returns the offset past the data."""
+        raise NotImplementedError
+
+    def unpack_from(self, buffer: bytes | bytearray | memoryview,
+                    offset: int) -> tuple[Any, int]:
+        """Read one value at *offset*; returns ``(value, next_offset)``."""
+        raise NotImplementedError
+
+    def pack(self, value: Any) -> bytes:
+        """Pack *value* into a fresh byte string."""
+        out = bytearray(self.size_of(value))
+        self.pack_into(out, 0, value)
+        return bytes(out)
+
+    def unpack(self, data: bytes | bytearray | memoryview) -> Any:
+        """Unpack one value from the start of *data*."""
+        value, _ = self.unpack_from(data, 0)
+        return value
+
+
+class PrimitiveSlot(Schema):
+    """A single primitive value."""
+
+    __slots__ = ("primitive", "_struct", "fixed_size")
+
+    def __init__(self, primitive: PrimitiveType) -> None:
+        code = _STRUCT_CODES.get(primitive.name)
+        if code is None:
+            raise MemoryLayoutError(
+                f"no struct code for primitive {primitive.name!r}")
+        self.primitive = primitive
+        self._struct = struct.Struct("<" + code)
+        self.fixed_size = self._struct.size
+
+    def size_of(self, value: Any) -> int:
+        return self.fixed_size
+
+    def pack_into(self, buffer, offset: int, value: Any) -> int:
+        self._struct.pack_into(buffer, offset, value)
+        return offset + self.fixed_size
+
+    def unpack_from(self, buffer, offset: int) -> tuple[Any, int]:
+        (value,) = self._struct.unpack_from(buffer, offset)
+        return value, offset + self.fixed_size
+
+    def __repr__(self) -> str:
+        return f"PrimitiveSlot({self.primitive.name})"
+
+
+class RecordSchema(Schema):
+    """A class flattened into its fields, in declaration order.
+
+    When every field is fixed-size, per-field offsets are precomputed —
+    these are the "relative offset values of all the UDT fields" the
+    synthesized SUDTs use (Appendix B).
+    """
+
+    def __init__(self, name: str,
+                 fields: Sequence[tuple[str, Schema]]) -> None:
+        if not fields:
+            raise MemoryLayoutError(
+                f"record schema {name!r} needs at least one field")
+        self.name = name
+        self.fields = tuple(fields)
+        self._index = {fname: i for i, (fname, _) in enumerate(self.fields)}
+        if len(self._index) != len(self.fields):
+            raise MemoryLayoutError(f"duplicate field names in {name!r}")
+        sizes = [schema.fixed_size for _, schema in self.fields]
+        if all(size is not None for size in sizes):
+            self.fixed_size = sum(sizes)  # type: ignore[arg-type]
+            if self.fixed_size == 0:
+                # A zero-byte record cannot be addressed inside a page
+                # (sequential scans could never advance past it).
+                raise MemoryLayoutError(
+                    f"record schema {name!r} has zero size")
+            offsets: list[int | None] = []
+            acc = 0
+            for size in sizes:
+                offsets.append(acc)
+                acc += size  # type: ignore[operator]
+            self.field_offsets: tuple[int | None, ...] = tuple(offsets)
+        else:
+            self.fixed_size = None
+            # Offsets are static only up to the first variable field.
+            offsets = []
+            acc: int | None = 0
+            for size in sizes:
+                offsets.append(acc)
+                if acc is None or size is None:
+                    acc = None
+                else:
+                    acc += size
+            self.field_offsets = tuple(offsets)
+
+    def field_index(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise MemoryLayoutError(
+                f"schema {self.name!r} has no field {name!r}") from None
+
+    def field_schema(self, name: str) -> Schema:
+        return self.fields[self.field_index(name)][1]
+
+    def field_offset(self, buffer, base_offset: int, index: int) -> int:
+        """Absolute offset of field *index* for the record at *base_offset*.
+
+        Static when all preceding fields are fixed-size; otherwise computed
+        by walking the preceding variable-size fields.
+        """
+        static = self.field_offsets[index]
+        if static is not None:
+            return base_offset + static
+        offset = base_offset
+        for _, schema in self.fields[:index]:
+            if schema.fixed_size is not None:
+                offset += schema.fixed_size
+            else:
+                offset = schema.skip(buffer, offset)
+        return offset
+
+    def size_of(self, value: Any) -> int:
+        if self.fixed_size is not None:
+            return self.fixed_size
+        values = self._as_sequence(value)
+        return sum(schema.size_of(v)
+                   for (_, schema), v in zip(self.fields, values))
+
+    def pack_into(self, buffer, offset: int, value: Any) -> int:
+        values = self._as_sequence(value)
+        for (_, schema), v in zip(self.fields, values):
+            offset = schema.pack_into(buffer, offset, v)
+        return offset
+
+    def unpack_from(self, buffer, offset: int) -> tuple[Any, int]:
+        out = []
+        for _, schema in self.fields:
+            value, offset = schema.unpack_from(buffer, offset)
+            out.append(value)
+        return tuple(out), offset
+
+    def skip(self, buffer, offset: int) -> int:
+        """Offset just past the record at *offset* without decoding it."""
+        if self.fixed_size is not None:
+            return offset + self.fixed_size
+        for _, schema in self.fields:
+            offset = schema.skip(buffer, offset)
+        return offset
+
+    def _as_sequence(self, value: Any) -> Sequence[Any]:
+        if isinstance(value, (tuple, list)):
+            if len(value) != len(self.fields):
+                raise MemoryLayoutError(
+                    f"record {self.name!r} expects {len(self.fields)} "
+                    f"values, got {len(value)}")
+            return value
+        raise MemoryLayoutError(
+            f"record {self.name!r} expects a tuple/list, got "
+            f"{type(value).__name__}")
+
+    def __repr__(self) -> str:
+        return (f"RecordSchema({self.name}, "
+                f"fields={[n for n, _ in self.fields]})")
+
+
+class FixedArraySchema(Schema):
+    """An array whose length was proved constant by the global analysis."""
+
+    def __init__(self, element: Schema, length: int) -> None:
+        if length < 0:
+            raise MemoryLayoutError(f"negative array length {length}")
+        if element.fixed_size is None:
+            raise MemoryLayoutError(
+                "fixed-length arrays need fixed-size elements")
+        self.element = element
+        self.length = length
+        self.fixed_size = element.fixed_size * length
+        self._bulk = None
+        if isinstance(element, PrimitiveSlot):
+            code = _STRUCT_CODES[element.primitive.name]
+            self._bulk = struct.Struct(f"<{length}{code}")
+
+    def size_of(self, value: Any) -> int:
+        return self.fixed_size
+
+    def pack_into(self, buffer, offset: int, value: Any) -> int:
+        if len(value) != self.length:
+            raise MemoryLayoutError(
+                f"fixed array expects {self.length} elements, "
+                f"got {len(value)}")
+        if self._bulk is not None:
+            self._bulk.pack_into(buffer, offset, *value)
+            return offset + self.fixed_size
+        for element in value:
+            offset = self.element.pack_into(buffer, offset, element)
+        return offset
+
+    def unpack_from(self, buffer, offset: int) -> tuple[Any, int]:
+        if self._bulk is not None:
+            return (self._bulk.unpack_from(buffer, offset),
+                    offset + self.fixed_size)
+        out = []
+        for _ in range(self.length):
+            value, offset = self.element.unpack_from(buffer, offset)
+            out.append(value)
+        return tuple(out), offset
+
+    def __repr__(self) -> str:
+        return f"FixedArraySchema({self.element!r} x {self.length})"
+
+
+class VarArraySchema(Schema):
+    """An array sized per instance: 4-byte length prefix plus elements.
+
+    Elements must be fixed-size (an RFST array of variable elements could
+    not have been classified decomposable in the first place).
+    """
+
+    fixed_size = None
+
+    def __init__(self, element: Schema) -> None:
+        if element.fixed_size is None:
+            raise MemoryLayoutError(
+                "variable arrays need fixed-size elements")
+        self.element = element
+        self._element_code = None
+        if isinstance(element, PrimitiveSlot):
+            self._element_code = _STRUCT_CODES[element.primitive.name]
+
+    def size_of(self, value: Any) -> int:
+        return _LENGTH_PREFIX.size + self.element.fixed_size * len(value)
+
+    def pack_into(self, buffer, offset: int, value: Any) -> int:
+        _LENGTH_PREFIX.pack_into(buffer, offset, len(value))
+        offset += _LENGTH_PREFIX.size
+        if self._element_code is not None:
+            packer = struct.Struct(f"<{len(value)}{self._element_code}")
+            packer.pack_into(buffer, offset, *value)
+            return offset + packer.size
+        for element in value:
+            offset = self.element.pack_into(buffer, offset, element)
+        return offset
+
+    def unpack_from(self, buffer, offset: int) -> tuple[Any, int]:
+        (length,) = _LENGTH_PREFIX.unpack_from(buffer, offset)
+        offset += _LENGTH_PREFIX.size
+        if self._element_code is not None:
+            unpacker = struct.Struct(f"<{length}{self._element_code}")
+            return (unpacker.unpack_from(buffer, offset),
+                    offset + unpacker.size)
+        out = []
+        for _ in range(length):
+            value, offset = self.element.unpack_from(buffer, offset)
+            out.append(value)
+        return tuple(out), offset
+
+    def skip(self, buffer, offset: int) -> int:
+        (length,) = _LENGTH_PREFIX.unpack_from(buffer, offset)
+        return (offset + _LENGTH_PREFIX.size
+                + self.element.fixed_size * length)
+
+    def length_at(self, buffer, offset: int) -> int:
+        """The stored length of the array at *offset*."""
+        (length,) = _LENGTH_PREFIX.unpack_from(buffer, offset)
+        return length
+
+    def __repr__(self) -> str:
+        return f"VarArraySchema({self.element!r})"
+
+
+# RecordSchema.skip needs PrimitiveSlot/FixedArraySchema to have skip too.
+def _fixed_skip(self, buffer, offset: int) -> int:
+    return offset + self.fixed_size
+
+
+PrimitiveSlot.skip = _fixed_skip            # type: ignore[attr-defined]
+FixedArraySchema.skip = _fixed_skip         # type: ignore[attr-defined]
+
+
+def build_schema(udt: DataType,
+                 size_type: SizeType,
+                 fixed_lengths: dict[int, int] | None = None,
+                 _seen: set[int] | None = None) -> Schema:
+    """Build the byte-layout schema for a decomposable *udt*.
+
+    *size_type* is the (globally refined) classification; only SFSTs and
+    RFSTs may be decomposed.  *fixed_lengths* maps ``id(array_type)`` to
+    the constant length proved by the analysis — arrays present there are
+    inlined, all others get length prefixes.
+
+    Fields with polymorphic type-sets cannot be flattened (the layout would
+    need runtime type tags), mirroring the paper's restriction to concrete
+    object graphs.
+    """
+    if not size_type.decomposable:
+        raise MemoryLayoutError(
+            f"{udt.name} is {size_type.value}; only SFSTs/RFSTs can be "
+            "decomposed (§3.1)")
+    return _schema_for(udt, fixed_lengths or {}, _seen or set())
+
+
+def _schema_for(udt: DataType, fixed_lengths: dict[int, int],
+                seen: set[int]) -> Schema:
+    if isinstance(udt, PrimitiveType):
+        return PrimitiveSlot(udt)
+    if id(udt) in seen:
+        raise MemoryLayoutError(
+            f"recursively-defined type {udt.name} cannot be laid out")
+    seen = seen | {id(udt)}
+    if isinstance(udt, ArrayType):
+        element = _element_schema(udt, fixed_lengths, seen)
+        length = fixed_lengths.get(id(udt))
+        if length is not None:
+            return FixedArraySchema(element, length)
+        return VarArraySchema(element)
+    if isinstance(udt, ClassType):
+        if not udt.fields:
+            raise MemoryLayoutError(
+                f"class {udt.name!r} has no fields to lay out")
+        fields: list[tuple[str, Schema]] = []
+        for field in udt.fields:
+            runtime = _sole_runtime_type(udt, field)
+            fields.append(
+                (field.name, _schema_for(runtime, fixed_lengths, seen)))
+        return RecordSchema(udt.name, fields)
+    raise MemoryLayoutError(f"cannot lay out {udt!r}")
+
+
+def _element_schema(udt: ArrayType, fixed_lengths: dict[int, int],
+                    seen: set[int]) -> Schema:
+    type_set = udt.element_field.get_type_set()
+    if len(type_set) != 1:
+        raise MemoryLayoutError(
+            f"array {udt.name} has a polymorphic element type-set; "
+            "it cannot be decomposed")
+    return _schema_for(type_set[0], fixed_lengths, seen)
+
+
+def _sole_runtime_type(owner: ClassType, field) -> DataType:
+    type_set = field.get_type_set()
+    if len(type_set) != 1:
+        raise MemoryLayoutError(
+            f"field {owner.name}.{field.name} has a polymorphic type-set "
+            f"({[t.name for t in type_set]}); it cannot be decomposed")
+    return type_set[0]
+
+
+def reorder_fields_fixed_first(schema: RecordSchema) -> RecordSchema:
+    """Appendix B's optimization: put fixed-size fields first.
+
+    With every fixed-size field leading, more field offsets become static,
+    so more accessor reads avoid the offset-scan.
+    """
+    fixed = [(n, s) for n, s in schema.fields if s.fixed_size is not None]
+    variable = [(n, s) for n, s in schema.fields if s.fixed_size is None]
+    return RecordSchema(schema.name, fixed + variable)

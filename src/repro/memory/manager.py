@@ -1,0 +1,121 @@
+"""The per-executor Deca memory manager (paper §5, Appendix C).
+
+The memory manager allocates and reclaims memory pages.  It works together
+with the engine's cache manager and shuffle manager (which handle the
+un-decomposed object data): containers ask it for page groups, access to
+cached page groups refreshes a recently-used counter, and under heap
+pressure the *least recently used* evictable page group is swapped out as
+raw bytes — no serialization step, because the pages already are the wire
+format (Appendix C).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterator
+
+from ..config import DecaConfig
+from ..errors import PageError
+from ..jvm.heap import SimHeap
+from .page import PageGroup, PageInfo
+
+
+class DecaMemoryManager:
+    """Creates, tracks and reclaims the page groups of one executor."""
+
+    def __init__(self, config: DecaConfig, heap: SimHeap | None = None
+                 ) -> None:
+        self.config = config
+        self.heap = heap
+        self._groups: dict[str, PageGroup] = {}
+        self._evictable: dict[str, PageGroup] = {}
+        self._use_clock = itertools.count()
+        self._last_used: dict[str, int] = {}
+
+    # -- group lifecycle -------------------------------------------------------
+    def new_page_group(self, name: str, *, evictable: bool = False,
+                       page_bytes: int | None = None) -> PageGroup:
+        """Allocate a page group for a container.
+
+        *evictable* marks groups backing cache blocks: they participate in
+        the LRU swap-out of Appendix C.  Shuffle page groups are not
+        evictable (they spill through the shuffle path instead).
+        """
+        if name in self._groups:
+            raise PageError(f"page group {name!r} already exists")
+        group = PageGroup(
+            name,
+            page_bytes if page_bytes is not None else self.config.page_bytes,
+            heap=self.heap,
+            on_reclaim=self._forget,
+        )
+        self._groups[name] = group
+        if evictable:
+            self._evictable[name] = group
+            self.touch(group)
+        return group
+
+    def open(self, group: PageGroup) -> PageInfo:
+        """Hand out a page-info on *group* (reference-counted)."""
+        return group.new_page_info()
+
+    def _forget(self, group: PageGroup) -> None:
+        self._groups.pop(group.name, None)
+        self._evictable.pop(group.name, None)
+        self._last_used.pop(group.name, None)
+
+    # -- LRU bookkeeping ----------------------------------------------------------
+    def touch(self, group: PageGroup) -> None:
+        """Refresh *group*'s recently-used counter (data access)."""
+        self._last_used[group.name] = next(self._use_clock)
+
+    def eviction_order(self) -> Iterator[PageGroup]:
+        """Evictable groups, least recently used first."""
+        ranked = sorted(self._evictable.values(),
+                        key=lambda g: self._last_used.get(g.name, -1))
+        return iter(ranked)
+
+    def evict(self, bytes_needed: int,
+              on_evict: Callable[[PageGroup], None] | None = None) -> int:
+        """Swap out LRU page groups until *bytes_needed* is satisfied.
+
+        *on_evict* is told about each victim before its pages are released
+        (the cache manager writes the raw bytes to its disk store there).
+        Returns the number of heap bytes released.
+        """
+        freed = 0
+        for group in list(self.eviction_order()):
+            if freed >= bytes_needed:
+                break
+            nbytes = group.allocated_bytes
+            if on_evict is not None:
+                on_evict(group)
+            group.reclaim()
+            freed += nbytes
+        return freed
+
+    # -- stats ---------------------------------------------------------------------
+    @property
+    def group_count(self) -> int:
+        return len(self._groups)
+
+    @property
+    def page_count(self) -> int:
+        return sum(g.page_count for g in self._groups.values())
+
+    @property
+    def used_bytes(self) -> int:
+        """Record bytes stored across all live page groups."""
+        return sum(g.used_bytes for g in self._groups.values())
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Heap bytes held by all live page groups."""
+        return sum(g.allocated_bytes for g in self._groups.values())
+
+    def groups(self) -> Iterator[PageGroup]:
+        return iter(list(self._groups.values()))
+
+    def __repr__(self) -> str:
+        return (f"DecaMemoryManager(groups={self.group_count}, "
+                f"pages={self.page_count}, used={self.used_bytes} B)")

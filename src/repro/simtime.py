@@ -1,0 +1,45 @@
+"""Simulated time.
+
+Every executor owns a :class:`SimClock`; all cost models *advance* a clock
+instead of sleeping.  Job wall-time is then ``max`` over the executors'
+clocks, mirroring how a stage finishes when its slowest task finishes.
+"""
+
+from __future__ import annotations
+
+from .errors import DecaError
+
+
+class SimClock:
+    """A monotonically increasing clock measured in simulated milliseconds."""
+
+    __slots__ = ("_now_ms",)
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        if start_ms < 0:
+            raise DecaError("clock cannot start before zero")
+        self._now_ms = float(start_ms)
+
+    @property
+    def now_ms(self) -> float:
+        """Current simulated time."""
+        return self._now_ms
+
+    def advance(self, delta_ms: float) -> float:
+        """Move the clock forward by *delta_ms* and return the new time.
+
+        Negative deltas are rejected: simulated time never runs backwards.
+        """
+        if delta_ms < 0:
+            raise DecaError(f"cannot advance clock by {delta_ms} ms")
+        self._now_ms += delta_ms
+        return self._now_ms
+
+    def advance_to(self, when_ms: float) -> float:
+        """Move the clock forward to *when_ms* if it is in the future."""
+        if when_ms > self._now_ms:
+            self._now_ms = when_ms
+        return self._now_ms
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now_ms:.3f} ms)"

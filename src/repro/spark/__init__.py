@@ -1,0 +1,24 @@
+"""The mini Spark engine.
+
+A working distributed-dataflow engine in the image of Spark 1.6, sized for
+simulation: RDDs with lazy lineage, a DAG scheduler that splits jobs into
+stages at shuffle boundaries, hash shuffles with eager combining, an LRU
+block cache with disk swap, and per-executor simulated heaps/clocks.  All
+computation is real (WordCount really counts words); only time and the
+garbage collector are simulated — see DESIGN.md.
+
+Public entry point: :class:`~repro.spark.context.DecaContext`.
+"""
+
+from .context import DecaContext
+from .rdd import RDD, UdtInfo
+from .metrics import JobMetrics, StageMetrics, TaskMetrics
+
+__all__ = [
+    "DecaContext",
+    "RDD",
+    "UdtInfo",
+    "JobMetrics",
+    "StageMetrics",
+    "TaskMetrics",
+]

@@ -1,0 +1,305 @@
+"""The block cache (Spark's ``CacheManager``/``BlockManager``, Appendix C).
+
+Cached RDD partitions become *blocks*.  A block's storage strategy depends
+on the execution mode / Deca plan:
+
+* ``OBJECTS`` — a plain record list; every record's object graph lives on
+  the (simulated) heap as pinned objects.  Spark's default.
+* ``SERIALIZED`` — one packed byte blob per block (Kryo-like); two heap
+  objects per block, but every read pays per-record deserialization.
+  Spark's ``MEMORY_ONLY_SER`` ("SparkSer").
+* ``DECA_PAGES`` — a reference-counted page group of decomposed records;
+  a handful of heap objects, readable in place.
+
+Blocks exceeding the storage budget are swapped to disk, least recently
+used first (the paper's modified LRU evicts whole page groups in Deca
+mode).  Swapped blocks are transparently re-read with disk + (mode-
+dependent) deserialization costs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from ..errors import CacheError
+from ..jvm.objects import AllocationGroup, Lifetime
+from ..memory.layout import Schema
+from ..memory.page import PageGroup
+from .measure import RecordFootprint
+
+BlockKey = tuple[int, int]  # (rdd_id, partition_index)
+
+
+class StorageStrategy(enum.Enum):
+    """How a cached block stores its records."""
+
+    OBJECTS = "objects"
+    SERIALIZED = "serialized"
+    DECA_PAGES = "deca-pages"
+
+
+@dataclass
+class CachedBlock:
+    """One cached partition on one executor."""
+
+    key: BlockKey
+    strategy: StorageStrategy
+    records: list | None            # OBJECTS strategy
+    blob: bytes | None              # SERIALIZED strategy
+    page_group: PageGroup | None    # DECA_PAGES strategy
+    schema: Schema | None
+    decode: Callable[[Any], Any] | None
+    record_count: int
+    memory_bytes: int               # heap footprint while in memory
+    disk_bytes: int                 # bytes written if swapped
+    footprint: RecordFootprint      # summed record footprints
+    alloc_group: AllocationGroup | None = None
+    on_disk: bool = False
+    # Payload parked here while the block is swapped out.
+    _disk_payload: Any = None
+
+
+class CacheStore:
+    """Per-executor block store with LRU swap-to-disk.
+
+    The executor wires :meth:`release_for_pressure` into its heap as a
+    pressure handler, so allocation pressure evicts blocks exactly the way
+    a real BlockManager drops them.
+    """
+
+    def __init__(self, executor) -> None:
+        self.executor = executor
+        self.blocks: dict[BlockKey, CachedBlock] = {}
+        self._lru: dict[BlockKey, int] = {}
+        self._tick = 0
+        self.swapped_bytes_total = 0
+        self.storage_budget = executor.config.storage_bytes
+
+    # -- queries --------------------------------------------------------------
+    def contains(self, key: BlockKey) -> bool:
+        return key in self.blocks
+
+    def get(self, key: BlockKey) -> CachedBlock:
+        try:
+            block = self.blocks[key]
+        except KeyError:
+            raise CacheError(f"no cached block {key}") from None
+        self._touch(key)
+        return block
+
+    @property
+    def memory_bytes(self) -> int:
+        return sum(b.memory_bytes for b in self.blocks.values()
+                   if not b.on_disk)
+
+    def _touch(self, key: BlockKey) -> None:
+        self._tick += 1
+        self._lru[key] = self._tick
+        block = self.blocks.get(key)
+        if block is not None and block.page_group is not None \
+                and not block.page_group.reclaimed:
+            self.executor.memory_manager.touch(block.page_group)
+
+    # -- insertion -----------------------------------------------------------------
+    def put(self, block: CachedBlock) -> None:
+        if block.key in self.blocks:
+            raise CacheError(f"block {block.key} cached twice")
+        self._make_room(block.memory_bytes)
+        self.blocks[block.key] = block
+        self._touch(block.key)
+
+    def _make_room(self, nbytes: int) -> None:
+        """Swap out LRU blocks until *nbytes* fit in the storage budget."""
+        while (self.memory_bytes + nbytes > self.storage_budget
+               and self._has_swappable()):
+            victim = self._lru_victim()
+            if victim is None:
+                break
+            self.swap_out(victim)
+
+    def _has_swappable(self) -> bool:
+        return any(not b.on_disk for b in self.blocks.values())
+
+    def _lru_victim(self) -> BlockKey | None:
+        candidates = [(tick, key) for key, tick in self._lru.items()
+                      if key in self.blocks and not self.blocks[key].on_disk]
+        if not candidates:
+            return None
+        return min(candidates)[1]
+
+    # -- swapping (Appendix C) ----------------------------------------------------
+    def swap_out(self, key: BlockKey) -> int:
+        """Write a block to disk and release its heap space."""
+        block = self.blocks[key]
+        if block.on_disk:
+            return 0
+        executor = self.executor
+        released = block.memory_bytes
+        if block.strategy is StorageStrategy.OBJECTS:
+            # Spark serializes object blocks before writing them out.
+            executor.serializer.kryo_serialize(
+                block.footprint.objects, block.disk_bytes)
+            block._disk_payload = block.records
+            block.records = None
+        elif block.strategy is StorageStrategy.SERIALIZED:
+            block._disk_payload = block.blob
+            block.blob = None
+        else:
+            # Deca: raw page bytes go straight to disk — no serialization.
+            group = block.page_group
+            assert group is not None
+            block._disk_payload = [bytes(p.data[:p.used])
+                                   for p in group.pages]
+            group.reclaim()
+            block.page_group = None
+        executor.charge_disk_write(block.disk_bytes)
+        if block.alloc_group is not None and not block.alloc_group.freed:
+            executor.heap.free_group(block.alloc_group)
+            block.alloc_group = None
+        block.on_disk = True
+        block.memory_bytes = 0
+        self.swapped_bytes_total += block.disk_bytes
+        return released
+
+    def swap_in(self, key: BlockKey) -> CachedBlock:
+        """Read a swapped block back (charging disk + deser costs)."""
+        block = self.blocks[key]
+        if not block.on_disk:
+            return block
+        executor = self.executor
+        executor.charge_disk_read(block.disk_bytes)
+        if block.strategy is StorageStrategy.OBJECTS:
+            executor.serializer.kryo_deserialize(
+                block.footprint.objects, block.disk_bytes)
+            block.records = block._disk_payload
+            block.memory_bytes = block.footprint.object_bytes
+            group = executor.heap.new_group(
+                f"cache:{block.key}", Lifetime.PINNED)
+            executor.heap.allocate(group, block.footprint.objects,
+                                   block.memory_bytes)
+            block.alloc_group = group
+        elif block.strategy is StorageStrategy.SERIALIZED:
+            block.blob = block._disk_payload
+            block.memory_bytes = len(block.blob)
+            group = executor.heap.new_group(
+                f"cache:{block.key}", Lifetime.PINNED)
+            executor.heap.allocate(group, 2, block.memory_bytes)
+            block.alloc_group = group
+        else:
+            group = executor.memory_manager.new_page_group(
+                f"cache:{block.key}:{self._tick}", evictable=True)
+            for chunk in block._disk_payload:
+                page, offset = group.reserve(len(chunk))
+                page.data[offset:offset + len(chunk)] = chunk
+            block.page_group = group
+            block.memory_bytes = group.allocated_bytes
+        block._disk_payload = None
+        block.on_disk = False
+        self._make_room(0)
+        self._touch(key)
+        return block
+
+    # -- heap pressure -----------------------------------------------------------
+    def release_for_pressure(self, bytes_needed: int) -> int:
+        """Heap pressure handler: swap out LRU blocks."""
+        freed = 0
+        while freed < bytes_needed and self._has_swappable():
+            victim = self._lru_victim()
+            if victim is None:
+                break
+            freed += self.swap_out(victim)
+        return freed
+
+    # -- removal ---------------------------------------------------------------------
+    def remove_rdd(self, rdd_id: int) -> int:
+        """Drop every block of *rdd_id* (the ``unpersist`` path).
+
+        Releasing the references is all it takes: object blocks become
+        garbage for the next collection; page groups are reclaimed at once.
+        """
+        removed = 0
+        for key in [k for k in self.blocks if k[0] == rdd_id]:
+            block = self.blocks.pop(key)
+            self._lru.pop(key, None)
+            if block.alloc_group is not None and not block.alloc_group.freed:
+                self.executor.heap.free_group(block.alloc_group)
+            if block.page_group is not None \
+                    and not block.page_group.reclaimed:
+                block.page_group.reclaim()
+            removed += 1
+        return removed
+
+    def read_records(self, key: BlockKey) -> Iterator[Any]:
+        """Iterate a block's records, charging mode-appropriate costs.
+
+        Swapped blocks are *streamed* from disk (MEMORY_AND_DISK
+        semantics): they pay disk + deserialization on every access but do
+        not displace resident blocks — re-promoting them would thrash the
+        LRU under exactly the memory pressure that evicted them.
+        """
+        block = self.get(key)
+        if block.on_disk:
+            yield from self._read_from_disk(block)
+            return
+        executor = self.executor
+        if block.strategy is StorageStrategy.OBJECTS:
+            yield from block.records
+            return
+        if block.strategy is StorageStrategy.SERIALIZED:
+            assert block.schema is not None and block.blob is not None
+            executor.serializer.kryo_deserialize(
+                block.footprint.objects, len(block.blob))
+            offset = 0
+            decode = block.decode or (lambda v: v)
+            for _ in range(block.record_count):
+                value, offset = block.schema.unpack_from(block.blob, offset)
+                yield decode(value)
+            return
+        # DECA_PAGES: read decomposed records in place.
+        assert block.page_group is not None and block.schema is not None
+        executor.serializer.deca_read(block.record_count,
+                                      block.page_group.used_bytes)
+        executor.charge_compute(
+            executor.config.cpu.page_access_ms * block.record_count)
+        decode = block.decode or (lambda v: v)
+        for value in block.page_group.records(block.schema):
+            yield decode(value)
+
+    def _read_from_disk(self, block: CachedBlock) -> Iterator[Any]:
+        """Stream a swapped block's records without re-promoting it."""
+        executor = self.executor
+        executor.charge_disk_read(block.disk_bytes)
+        if block.strategy is StorageStrategy.OBJECTS:
+            executor.serializer.kryo_deserialize(block.footprint.objects,
+                                                 block.disk_bytes)
+            # Deserialized records are short-lived task-local objects.
+            executor.alloc_temp(block.footprint.objects,
+                                block.footprint.object_bytes)
+            yield from block._disk_payload
+            return
+        if block.strategy is StorageStrategy.SERIALIZED:
+            executor.serializer.kryo_deserialize(block.footprint.objects,
+                                                 block.disk_bytes)
+            payload = block._disk_payload
+            decode = block.decode or (lambda v: v)
+            if isinstance(payload, (bytes, bytearray)) \
+                    and block.schema is not None:
+                offset = 0
+                for _ in range(block.record_count):
+                    value, offset = block.schema.unpack_from(payload,
+                                                             offset)
+                    yield decode(value)
+            else:
+                yield from payload
+            return
+        # DECA_PAGES: the on-disk bytes are already the record format.
+        executor.serializer.deca_read(block.record_count, block.disk_bytes)
+        assert block.schema is not None
+        decode = block.decode or (lambda v: v)
+        for chunk in block._disk_payload:
+            offset = 0
+            while offset < len(chunk):
+                value, offset = block.schema.unpack_from(chunk, offset)
+                yield decode(value)

@@ -1,0 +1,328 @@
+"""DecaContext — the application entry point (SparkContext analogue).
+
+A context owns the simulated cluster (executors with heaps and clocks), the
+shuffle service, the DAG scheduler and — in ``DECA`` mode — the runtime
+optimizer that plans cache/shuffle decomposition per job (the hybrid
+optimization of Appendix A: plans are made when a dataset is first
+materialized, using the UDT analysis plus runtime symbol bindings).
+
+Typical use::
+
+    ctx = DecaContext(DecaConfig(mode=ExecutionMode.DECA))
+    points = ctx.parallelize(data, 8).map(parse).with_udt(info).cache()
+    for _ in range(30):
+        gradient = points.map(gradient_of).reduce(add)
+    report = ctx.finish()
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Callable, Iterable, Iterator
+
+from ..config import DecaConfig, ExecutionMode
+from ..errors import ExecutionError
+from ..jvm.objects import Lifetime
+from .cache import CachedBlock, StorageStrategy
+from .measure import ZERO_FOOTPRINT
+from .metrics import JobMetrics, RunMetrics
+from .profiler import HeapProfiler
+from .rdd import (
+    ParallelCollectionRDD,
+    RDD,
+    ShuffleDependency,
+    UdtInfo,
+)
+from .scheduler import DAGScheduler, TaskContext
+from .executor import Executor
+from .shuffle import ShuffleBlockStore, ShufflePlan
+
+
+def stable_hash(key: Any) -> int:
+    """A process-independent hash for partitioning."""
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, int):
+        return key & 0x7FFFFFFF
+    if isinstance(key, float):
+        return hash(key) & 0x7FFFFFFF
+    if isinstance(key, str):
+        return zlib.crc32(key.encode("utf-8"))
+    if isinstance(key, bytes):
+        return zlib.crc32(key)
+    if isinstance(key, tuple):
+        acc = 97
+        for item in key:
+            acc = (acc * 31 + stable_hash(item)) & 0x7FFFFFFF
+        return acc
+    return hash(key) & 0x7FFFFFFF
+
+
+class CachePlan:
+    """How one cached dataset stores its blocks (Deca optimizer output)."""
+
+    def __init__(self, strategy: StorageStrategy,
+                 schema=None,
+                 encode: Callable[[Any], Any] | None = None,
+                 decode: Callable[[Any], Any] | None = None) -> None:
+        self.strategy = strategy
+        self.schema = schema
+        self.encode = encode
+        self.decode = decode
+
+
+class DecaContext:
+    """The driver: builds RDDs, runs jobs, reports metrics."""
+
+    def __init__(self, config: DecaConfig | None = None) -> None:
+        self.config = config or DecaConfig()
+        self.mode = self.config.mode
+        self.shuffle_store = ShuffleBlockStore()
+        self.executors = [
+            Executor(i, self.config, self.shuffle_store)
+            for i in range(self.config.num_executors)
+        ]
+        self.scheduler = DAGScheduler(self)
+        self.partitioner = stable_hash
+        self._rdds: dict[int, RDD] = {}
+        self._jobs: list[JobMetrics] = []
+        self._spilled_shuffle_bytes = 0
+        self._optimizer = None
+        if self.mode is ExecutionMode.DECA:
+            from ..core.optimizer import DecaOptimizer
+            self._optimizer = DecaOptimizer(self)
+
+    # -- dataset creation ---------------------------------------------------------
+    def parallelize(self, data: Iterable[Any], num_partitions: int,
+                    name: str = "parallelize",
+                    udt_info: UdtInfo | None = None) -> RDD:
+        """Distribute a driver-side collection."""
+        return ParallelCollectionRDD(self, list(data), num_partitions,
+                                     name=name, udt_info=udt_info)
+
+    def text_file(self, lines: Iterable[str], num_partitions: int,
+                  name: str = "textFile") -> RDD:
+        """A text dataset, charged like reading one HDFS split per task."""
+        data = list(lines)
+        avg_bytes = (sum(len(line) for line in data) / len(data)
+                     if data else 0.0)
+        read_ms = self.config.io.disk_read_per_byte_ms * avg_bytes
+        return ParallelCollectionRDD(self, data, num_partitions, name=name,
+                                     read_cost_per_record_ms=read_ms)
+
+    # -- job execution ----------------------------------------------------------------
+    def run_job(self, rdd: RDD, func: Callable[[Iterator[Any]], Any],
+                name: str) -> list[Any]:
+        return self.scheduler.run_job(rdd, func, name)
+
+    def executor_for(self, split: int) -> Executor:
+        return self.executors[split % len(self.executors)]
+
+    # -- planning hooks (mode dispatch) ------------------------------------------------
+    def plan_cache(self, rdd: RDD) -> CachePlan:
+        """Decide how *rdd*'s blocks are stored."""
+        if self.mode is ExecutionMode.SPARK:
+            return CachePlan(StorageStrategy.OBJECTS)
+        if self.mode is ExecutionMode.SPARK_SER:
+            info = rdd.udt_info
+            if info is not None:
+                try:
+                    schema = self._serialization_schema(info)
+                except Exception:
+                    schema = None
+            else:
+                schema = None
+            return CachePlan(StorageStrategy.SERIALIZED, schema=schema,
+                             encode=info.to_schema_value if info else None,
+                             decode=info.from_schema_value if info else None)
+        assert self._optimizer is not None
+        return self._optimizer.plan_cache(rdd)
+
+    def plan_shuffle(self, dep: ShuffleDependency) -> ShufflePlan:
+        """Decide how *dep*'s buffers are stored."""
+        measure = dep.parent.measure_record
+        if self.mode is not ExecutionMode.DECA:
+            # Spark 1.6 has no in-memory serialized shuffle buffers; both
+            # Spark and SparkSer shuffle object graphs (§6.5).
+            return ShufflePlan(measure=measure)
+        assert self._optimizer is not None
+        return self._optimizer.plan_shuffle(dep)
+
+    def _serialization_schema(self, info: UdtInfo):
+        """A Kryo-equivalent layout for SparkSer blocks (RFST shape)."""
+        from ..memory.layout import build_schema
+        from ..analysis.size_type import SizeType
+        return build_schema(info.udt, SizeType.RUNTIME_FIXED)
+
+    # -- cache materialization ------------------------------------------------------------
+    def _cached_iterator(self, rdd: RDD, split: int,
+                         task: TaskContext) -> Iterator[Any]:
+        executor = task.executor
+        key = (rdd.rdd_id, split)
+        if executor.cache.contains(key):
+            yield from executor.cache.read_records(key)
+            return
+        records = list(rdd.compute(split, task))
+        block = self._build_block(rdd, key, records, task)
+        executor.cache.put(block)
+        yield from records
+
+    def _build_block(self, rdd: RDD, key: tuple[int, int], records: list,
+                     task: TaskContext) -> CachedBlock:
+        executor = task.executor
+        plan = self.plan_cache(rdd)
+        footprint = ZERO_FOOTPRINT
+        for record in records:
+            footprint = footprint + rdd.measure_record(record)
+        if plan.strategy is StorageStrategy.OBJECTS:
+            group = executor.heap.new_group(f"cache:{key}", Lifetime.PINNED)
+            # Records were allocated one by one while the UDF produced
+            # them; charge the block's graph as young allocations that a
+            # scavenge will promote (the long-living cohort of §2.2).
+            per_record = max(1, footprint.objects // max(1, len(records)))
+            per_bytes = footprint.object_bytes // max(1, len(records))
+            for _ in range(len(records)):
+                executor.heap.allocate(group, per_record, per_bytes)
+            return CachedBlock(
+                key=key, strategy=plan.strategy, records=records,
+                blob=None, page_group=None, schema=None, decode=None,
+                record_count=len(records),
+                memory_bytes=footprint.object_bytes,
+                disk_bytes=footprint.serialized_bytes,
+                footprint=footprint, alloc_group=group)
+        if plan.strategy is StorageStrategy.SERIALIZED:
+            executor.serializer.kryo_serialize(
+                footprint.objects, footprint.serialized_bytes)
+            blob = None
+            if plan.schema is not None:
+                encode = plan.encode or (lambda v: v)
+                chunks = bytearray()
+                for record in records:
+                    chunks.extend(plan.schema.pack(encode(record)))
+                blob = bytes(chunks)
+                memory_bytes = len(blob)
+            else:
+                memory_bytes = footprint.serialized_bytes
+            group = executor.heap.new_group(f"cache:{key}", Lifetime.PINNED)
+            executor.heap.allocate(group, 2, memory_bytes)
+            return CachedBlock(
+                key=key, strategy=plan.strategy,
+                records=records if blob is None else None,
+                blob=blob, page_group=None, schema=plan.schema,
+                decode=plan.decode, record_count=len(records),
+                memory_bytes=memory_bytes,
+                disk_bytes=footprint.serialized_bytes,
+                footprint=footprint, alloc_group=group)
+        # DECA_PAGES
+        if plan.schema is None:
+            raise ExecutionError(
+                f"Deca page plan for {rdd.name!r} lacks a schema")
+        group = executor.memory_manager.new_page_group(
+            f"cache:{key}", evictable=True)
+        encode = plan.encode or (lambda v: v)
+        for record in records:
+            group.append_record(plan.schema, encode(record))
+        group.trim()  # sealed block: give the last page's tail back
+        executor.serializer.deca_write(len(records), group.used_bytes)
+        return CachedBlock(
+            key=key, strategy=plan.strategy, records=None, blob=None,
+            page_group=group, schema=plan.schema, decode=plan.decode,
+            record_count=len(records),
+            memory_bytes=group.allocated_bytes,
+            disk_bytes=group.used_bytes,
+            footprint=footprint, alloc_group=None)
+
+    def _is_deca_transformed(self, rdd: RDD) -> bool:
+        """Did the optimizer rewrite this RDD's input access (Fig. 12)?
+
+        True when the nearest cached ancestor (through narrow
+        dependencies) is stored as decomposed pages in DECA mode.
+        """
+        if self.mode is not ExecutionMode.DECA:
+            return False
+        from .rdd import NarrowDependency, ShuffleDependency
+        node: RDD | None = rdd
+        while node is not None:
+            if node.is_cached:
+                plan = self.plan_cache(node)
+                return plan.strategy is StorageStrategy.DECA_PAGES
+            shuffles = [d for d in node.deps
+                        if isinstance(d, ShuffleDependency)]
+            if shuffles:
+                # A stage whose input shuffle is decomposed is rewritten
+                # to read the buffer bytes directly.
+                return any(self.plan_shuffle(d).decomposed
+                           for d in shuffles)
+            narrow = [d for d in node.deps
+                      if isinstance(d, NarrowDependency)]
+            node = narrow[0].parent if len(narrow) == 1 else None
+        return False
+
+    # -- lifecycle bookkeeping ----------------------------------------------------------
+    def _register_rdd(self, rdd: RDD) -> None:
+        self._rdds[rdd.rdd_id] = rdd
+
+    def _note_cached(self, rdd: RDD) -> None:
+        pass  # reserved for plan invalidation
+
+    def _unpersist(self, rdd: RDD) -> None:
+        for executor in self.executors:
+            executor.cache.remove_rdd(rdd.rdd_id)
+
+    def _note_spill(self, nbytes: int) -> None:
+        self._spilled_shuffle_bytes += nbytes
+
+    def _record_job(self, metrics: JobMetrics) -> None:
+        self._jobs.append(metrics)
+
+    # -- profiling ----------------------------------------------------------------------
+    def enable_profiling(self, tracked_prefix: str | None = None
+                         ) -> list[HeapProfiler]:
+        """Attach samplers to every executor (Figs. 8a/9a)."""
+        return [executor.enable_profiler(self.config.profiler_period_ms,
+                                         tracked_prefix)
+                for executor in self.executors]
+
+    # -- results ---------------------------------------------------------------------------
+    @property
+    def wall_ms(self) -> float:
+        return max(e.clock.now_ms for e in self.executors)
+
+    def cached_bytes_of(self, rdd: RDD) -> int:
+        """In-memory footprint of *rdd*'s cached blocks (cache-size bars)."""
+        total = 0
+        for executor in self.executors:
+            for key, block in executor.cache.blocks.items():
+                if key[0] == rdd.rdd_id and not block.on_disk:
+                    total += block.memory_bytes
+        return total
+
+    def swapped_bytes_of(self, rdd: RDD) -> int:
+        total = 0
+        for executor in self.executors:
+            for key, block in executor.cache.blocks.items():
+                if key[0] == rdd.rdd_id and block.on_disk:
+                    total += block.disk_bytes
+        return total
+
+    def finish(self) -> RunMetrics:
+        """Collect the run's metrics (the numbers the figures report)."""
+        for executor in self.executors:
+            if executor.profiler is not None:
+                executor.profiler.force_sample()
+        run = RunMetrics(jobs=list(self._jobs), wall_ms=self.wall_ms)
+        for executor in self.executors:
+            stats = executor.heap.stats
+            run.executor_gc_ms[executor.executor_id] = stats.pause_ms
+            run.executor_concurrent_gc_ms[executor.executor_id] = \
+                stats.concurrent_ms
+            run.minor_gc_count += stats.minor_count
+            run.full_gc_count += stats.full_count
+            run.swapped_cache_bytes += executor.cache.swapped_bytes_total
+        run.spilled_shuffle_bytes = self._spilled_shuffle_bytes
+        for rdd in self._rdds.values():
+            if rdd.is_cached:
+                nbytes = self.cached_bytes_of(rdd)
+                if nbytes:
+                    run.cached_bytes[rdd.rdd_id] = nbytes
+        return run

@@ -1,0 +1,166 @@
+"""Executors: one simulated JVM process each.
+
+An executor bundles a clock, a simulated heap, the block cache, the Deca
+memory manager and a serializer model.  Tasks charge their compute/I-O
+costs here; charges are divided by the executor's task parallelism (the
+concurrent task slots of a real executor), while GC pauses — which stop
+every thread — land at full price via the heap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, TYPE_CHECKING
+
+from ..config import DecaConfig
+from ..jvm.heap import SimHeap
+from ..jvm.objects import AllocationGroup, Lifetime
+from ..memory.manager import DecaMemoryManager
+from ..simtime import SimClock
+from .cache import CacheStore
+from .profiler import HeapProfiler
+from .serializer import SerializerModel
+from .shuffle import ShuffleBlockStore, read_reduce_partition
+
+if TYPE_CHECKING:
+    from .scheduler import TaskContext
+
+
+class Executor:
+    """One worker process with its own heap and clock."""
+
+    def __init__(self, executor_id: int, config: DecaConfig,
+                 shuffle_store: ShuffleBlockStore) -> None:
+        self.executor_id = executor_id
+        self.config = config
+        self.clock = SimClock()
+        self.heap = SimHeap(config, self.clock, f"executor-{executor_id}")
+        self.memory_manager = DecaMemoryManager(config, self.heap)
+        self.serializer = SerializerModel(
+            config.serializer, self.clock,
+            parallelism=config.tasks_per_executor)
+        self.cache = CacheStore(self)
+        self.serializer.on_charge = self._attribute_serializer_time
+        self.shuffle_store = shuffle_store
+        self.heap.add_pressure_handler(self.cache.release_for_pressure)
+        self.parallelism = max(1, config.tasks_per_executor)
+        self.profiler: HeapProfiler | None = None
+        self._temp_group: AllocationGroup | None = None
+        self._current_task: "TaskContext | None" = None
+        # Cumulative I/O time (for Fig. 11 breakdowns).
+        self.disk_ms_total = 0.0
+        self.network_ms_total = 0.0
+
+    def _attribute_serializer_time(self, kind: str, ms: float) -> None:
+        if self._current_task is None:
+            return
+        if kind == "ser":
+            self._current_task.metrics.ser_ms += ms
+        else:
+            self._current_task.metrics.deser_ms += ms
+
+    # -- profiling --------------------------------------------------------------
+    def enable_profiler(self, period_ms: float,
+                        tracked_prefix: str | None = None) -> HeapProfiler:
+        """Attach a JProfiler-style sampler (Figs. 8a/9a)."""
+        def tracked() -> int:
+            if tracked_prefix is None:
+                return self.heap.live_objects
+            return self.live_objects_matching(tracked_prefix)
+        self.profiler = HeapProfiler(self.heap, self.clock, period_ms,
+                                     tracked_counter=tracked)
+        return self.profiler
+
+    def live_objects_matching(self, prefix: str) -> int:
+        """Live objects in allocation groups whose name has *prefix*."""
+        return sum(g.live_objects for g in self.heap._groups.values()
+                   if g.name.startswith(prefix))
+
+    def _sample(self) -> None:
+        if self.profiler is not None:
+            self.profiler.maybe_sample()
+
+    # -- cost charging -------------------------------------------------------------
+    def charge_compute(self, ms: float) -> None:
+        self.clock.advance(ms / self.parallelism)
+        if self._current_task is not None:
+            self._current_task.metrics.compute_ms += ms / self.parallelism
+        self._sample()
+
+    def charge_disk_write(self, nbytes: int) -> None:
+        io = self.config.io
+        ms = (io.disk_seek_ms + io.disk_write_per_byte_ms * nbytes) \
+            / self.parallelism
+        self.clock.advance(ms)
+        self.disk_ms_total += ms
+        if self._current_task is not None:
+            self._current_task.metrics.shuffle_write_ms += ms
+        self._sample()
+
+    def charge_disk_read(self, nbytes: int) -> None:
+        io = self.config.io
+        ms = (io.disk_seek_ms + io.disk_read_per_byte_ms * nbytes) \
+            / self.parallelism
+        self.clock.advance(ms)
+        self.disk_ms_total += ms
+        if self._current_task is not None:
+            self._current_task.metrics.shuffle_read_ms += ms
+        self._sample()
+
+    def charge_network(self, nbytes: int) -> None:
+        io = self.config.io
+        ms = (io.network_rtt_ms + io.network_per_byte_ms * nbytes) \
+            / self.parallelism
+        self.clock.advance(ms)
+        self.network_ms_total += ms
+        if self._current_task is not None:
+            self._current_task.metrics.shuffle_read_ms += ms
+        self._sample()
+
+    # -- allocation helpers -----------------------------------------------------------
+    def alloc_temp(self, objects: int, nbytes: int) -> None:
+        """Allocate short-lived UDF objects into the task's temp group."""
+        if objects <= 0 and nbytes <= 0:
+            return
+        if self._temp_group is None or self._temp_group.freed:
+            self._temp_group = self.heap.new_group(
+                "udf-temp", Lifetime.TEMPORARY)
+        self.charge_compute(self.config.cpu.object_alloc_ms * objects)
+        self.heap.allocate(self._temp_group, objects, nbytes)
+        self._sample()
+
+    def new_pinned_group(self, name: str) -> AllocationGroup:
+        return self.heap.new_group(name, Lifetime.PINNED)
+
+    def free_pinned_group(self, group: AllocationGroup) -> None:
+        if not group.freed:
+            self.heap.free_group(group)
+
+    # -- task lifecycle ------------------------------------------------------------
+    def begin_task(self, task: "TaskContext") -> None:
+        self._current_task = task
+        task._start_ms = self.clock.now_ms
+        task._gc_start_ms = self.heap.stats.pause_ms
+        self._temp_group = self.heap.new_group(
+            "udf-temp", Lifetime.TEMPORARY)
+
+    def end_task(self, task: "TaskContext") -> None:
+        # UDF locals die with the task (§4.2).
+        if self._temp_group is not None and not self._temp_group.freed:
+            self.heap.free_group(self._temp_group)
+        self._temp_group = None
+        task.metrics.duration_ms = self.clock.now_ms - task._start_ms
+        task.metrics.gc_pause_ms = (self.heap.stats.pause_ms
+                                    - task._gc_start_ms)
+        task.metrics.executor_id = self.executor_id
+        self._current_task = None
+        self._sample()
+
+    # -- shuffle read -----------------------------------------------------------------
+    def read_shuffle(self, shuffle_id: int, reduce_part: int,
+                     task: "TaskContext") -> Iterator[tuple[Any, Any]]:
+        return read_reduce_partition(self, self.shuffle_store, shuffle_id,
+                                     reduce_part)
+
+    def __repr__(self) -> str:
+        return (f"Executor(#{self.executor_id}, "
+                f"t={self.clock.now_ms:.1f} ms)")

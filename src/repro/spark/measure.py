@@ -1,0 +1,157 @@
+"""Object-graph footprint measurement.
+
+The cache-size bars and GC-pressure numbers of every figure depend on how
+many heap objects and bytes one record costs in each representation:
+
+* **object form** (Spark): the full JVM object graph — headers, references,
+  boxed primitives in generic containers (Fig. 2 top);
+* **decomposed form** (Deca): the record's *data-size* — the primitives
+  alone (Fig. 2 bottom);
+* **serialized form** (SparkSer): Kryo bytes, essentially data-size plus a
+  small per-object tag.
+
+When a dataset declares its UDT, the measurement walks the type graph with
+the record's actual array lengths.  Untyped datasets (plain driver-side
+values) fall back to a generic measurer over Python values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.udt import ArrayType, ClassType, DataType, PrimitiveType
+from ..errors import MemoryLayoutError
+from ..jvm import sizing
+
+# Kryo writes a 1-2 byte class registration tag per top-level object.
+KRYO_TAG_BYTES = 2
+
+
+@dataclass(frozen=True)
+class RecordFootprint:
+    """Heap cost of one record in its three representations."""
+
+    objects: int          # heap objects in the object form
+    object_bytes: int     # bytes of the object form
+    data_bytes: int       # raw data size (the decomposed form)
+
+    @property
+    def serialized_bytes(self) -> int:
+        """Approximate Kryo size (data plus a class tag)."""
+        return self.data_bytes + KRYO_TAG_BYTES
+
+    def __add__(self, other: "RecordFootprint") -> "RecordFootprint":
+        return RecordFootprint(
+            self.objects + other.objects,
+            self.object_bytes + other.object_bytes,
+            self.data_bytes + other.data_bytes,
+        )
+
+
+ZERO_FOOTPRINT = RecordFootprint(0, 0, 0)
+
+
+def measure_typed(udt: DataType, value) -> RecordFootprint:
+    """Measure *value* (in schema shape — nested tuples) against *udt*."""
+    if isinstance(udt, PrimitiveType):
+        # A bare primitive inside a generic container gets boxed.
+        return RecordFootprint(
+            objects=1,
+            object_bytes=sizing.boxed_bytes(udt.name),
+            data_bytes=udt.nbytes,
+        )
+    if isinstance(udt, ArrayType):
+        return _measure_array(udt, value)
+    if isinstance(udt, ClassType):
+        return _measure_class(udt, value)
+    raise MemoryLayoutError(f"cannot measure {udt!r}")
+
+
+def _measure_array(udt: ArrayType, value) -> RecordFootprint:
+    length = len(value)
+    element_types = udt.element_field.get_type_set()
+    element = element_types[0] if len(element_types) == 1 else None
+    if isinstance(element, PrimitiveType) or element is None and not length:
+        element_bytes = (element.nbytes if isinstance(element, PrimitiveType)
+                         else sizing.REFERENCE_BYTES)
+        return RecordFootprint(
+            objects=1,
+            object_bytes=sizing.array_bytes(element_bytes, length),
+            data_bytes=(element_bytes * length
+                        if isinstance(element, PrimitiveType) else 0),
+        )
+    # Reference array: the array object plus each element's graph.
+    total = RecordFootprint(
+        objects=1,
+        object_bytes=sizing.array_bytes(sizing.REFERENCE_BYTES, length),
+        data_bytes=0,
+    )
+    for item in value:
+        if element is None:
+            raise MemoryLayoutError(
+                f"array {udt.name} has a polymorphic element type-set; "
+                "measure each element with its concrete type")
+        total = total + measure_typed(element, item)
+    return total
+
+
+def _measure_class(udt: ClassType, value) -> RecordFootprint:
+    total = RecordFootprint(
+        objects=1, object_bytes=udt.shallow_object_bytes, data_bytes=0)
+    values = value if isinstance(value, (tuple, list)) else (value,)
+    if len(values) != len(udt.fields):
+        raise MemoryLayoutError(
+            f"value arity {len(values)} does not match "
+            f"{udt.name}'s {len(udt.fields)} fields")
+    for field, item in zip(udt.fields, values):
+        declared = field.declared_type
+        if isinstance(declared, PrimitiveType):
+            total = total + RecordFootprint(0, 0, declared.nbytes)
+            continue
+        type_set = field.get_type_set()
+        if len(type_set) != 1:
+            raise MemoryLayoutError(
+                f"field {udt.name}.{field.name} has a polymorphic "
+                "type-set; cannot measure statically")
+        total = total + measure_typed(type_set[0], item)
+    return total
+
+
+def measure_generic(value) -> RecordFootprint:
+    """Measure an untyped Python value as its JVM-equivalent graph.
+
+    Used for driver-side collections and datasets without a declared UDT.
+    Numbers box, strings become ``String`` + ``char[]``, tuples/lists
+    become objects with reference fields.
+    """
+    if value is None:
+        return ZERO_FOOTPRINT
+    if isinstance(value, bool):
+        return RecordFootprint(1, sizing.boxed_bytes("boolean"), 1)
+    if isinstance(value, int):
+        return RecordFootprint(1, sizing.boxed_bytes("long"), 8)
+    if isinstance(value, float):
+        return RecordFootprint(1, sizing.boxed_bytes("double"), 8)
+    if isinstance(value, str):
+        chars = sizing.array_bytes(2, len(value))
+        return RecordFootprint(
+            objects=2,
+            object_bytes=sizing.object_bytes(1, 4) + chars,
+            data_bytes=2 * len(value),
+        )
+    if isinstance(value, (bytes, bytearray)):
+        return RecordFootprint(
+            1, sizing.array_bytes(1, len(value)), len(value))
+    if isinstance(value, (tuple, list)):
+        total = RecordFootprint(
+            1, sizing.object_bytes(len(value), 0), 0)
+        for item in value:
+            total = total + measure_generic(item)
+        return total
+    if isinstance(value, dict):
+        total = RecordFootprint(1, sizing.object_bytes(1, 12), 0)
+        for k, v in value.items():
+            total = total + measure_generic(k) + measure_generic(v)
+        return total
+    # Opaque object: one header, unknown payload.
+    return RecordFootprint(1, sizing.object_bytes(0, 16), 16)

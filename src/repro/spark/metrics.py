@@ -1,0 +1,113 @@
+"""Task, stage and job metrics (the numbers every figure reports)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TaskMetrics:
+    """Cost breakdown of one task (Fig. 11's bars)."""
+
+    task_id: int = -1
+    stage_id: int = -1
+    executor_id: int = -1
+    records_read: int = 0
+    records_written: int = 0
+    compute_ms: float = 0.0
+    gc_pause_ms: float = 0.0
+    ser_ms: float = 0.0
+    deser_ms: float = 0.0
+    shuffle_read_ms: float = 0.0
+    shuffle_write_ms: float = 0.0
+    cache_io_ms: float = 0.0
+    duration_ms: float = 0.0
+
+    def add(self, other: "TaskMetrics") -> None:
+        self.records_read += other.records_read
+        self.records_written += other.records_written
+        self.compute_ms += other.compute_ms
+        self.gc_pause_ms += other.gc_pause_ms
+        self.ser_ms += other.ser_ms
+        self.deser_ms += other.deser_ms
+        self.shuffle_read_ms += other.shuffle_read_ms
+        self.shuffle_write_ms += other.shuffle_write_ms
+        self.cache_io_ms += other.cache_io_ms
+        self.duration_ms += other.duration_ms
+
+
+@dataclass
+class StageMetrics:
+    """Aggregate over one stage's tasks."""
+
+    stage_id: int
+    name: str
+    tasks: list[TaskMetrics] = field(default_factory=list)
+    wall_ms: float = 0.0
+
+    @property
+    def totals(self) -> TaskMetrics:
+        total = TaskMetrics(stage_id=self.stage_id)
+        for task in self.tasks:
+            total.add(task)
+        return total
+
+    @property
+    def slowest_task(self) -> TaskMetrics | None:
+        if not self.tasks:
+            return None
+        return max(self.tasks, key=lambda t: t.duration_ms)
+
+
+@dataclass
+class JobMetrics:
+    """Aggregate over one job's stages."""
+
+    job_id: int
+    name: str
+    stages: list[StageMetrics] = field(default_factory=list)
+    wall_ms: float = 0.0
+
+    @property
+    def totals(self) -> TaskMetrics:
+        total = TaskMetrics()
+        for stage in self.stages:
+            total.add(stage.totals)
+        return total
+
+
+@dataclass
+class RunMetrics:
+    """Everything measured across an application run.
+
+    ``gc_pause_ms`` is the per-executor average the paper reports (Table 3
+    averages "the values on all executors"); ``executor_gc_ms`` keeps the
+    raw per-executor pauses.
+    """
+
+    jobs: list[JobMetrics] = field(default_factory=list)
+    wall_ms: float = 0.0
+    executor_gc_ms: dict[int, float] = field(default_factory=dict)
+    executor_concurrent_gc_ms: dict[int, float] = field(default_factory=dict)
+    minor_gc_count: int = 0
+    full_gc_count: int = 0
+    cached_bytes: dict[int, int] = field(default_factory=dict)
+    swapped_cache_bytes: int = 0
+    spilled_shuffle_bytes: int = 0
+
+    @property
+    def gc_pause_ms(self) -> float:
+        if not self.executor_gc_ms:
+            return 0.0
+        return sum(self.executor_gc_ms.values()) / len(self.executor_gc_ms)
+
+    @property
+    def total_cached_bytes(self) -> int:
+        return sum(self.cached_bytes.values())
+
+    @property
+    def gc_fraction(self) -> float:
+        """GC pause time as a fraction of wall time (Table 3's "ratio")."""
+        if self.wall_ms <= 0:
+            return 0.0
+        return self.gc_pause_ms / self.wall_ms

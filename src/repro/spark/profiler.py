@@ -1,0 +1,71 @@
+"""Live-object / GC sampling — the JProfiler stand-in for Figs. 8(a)/9(a).
+
+The paper periodically records, per executor, the number of alive objects
+of one tracked UDT (``Tuple2`` for WC, ``LabeledPoint`` for LR) and the
+cumulative GC time.  :class:`HeapProfiler` does the same on the simulated
+clock: the executor calls :meth:`maybe_sample` inside its task loops, and a
+sample is taken whenever the clock has crossed the next sampling point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..jvm.heap import SimHeap
+from ..simtime import SimClock
+
+
+@dataclass(frozen=True)
+class ProfileSample:
+    """One sampling point of the live-object/GC-time timeline."""
+
+    time_ms: float
+    live_objects: int
+    tracked_objects: int
+    gc_pause_ms: float
+
+
+class HeapProfiler:
+    """Periodic sampler of one executor's heap.
+
+    *tracked_counter* returns the current population of the UDT under
+    observation (e.g. live ``LabeledPoint`` count — cached records plus
+    in-flight temporaries).
+    """
+
+    def __init__(self, heap: SimHeap, clock: SimClock, period_ms: float,
+                 tracked_counter: Callable[[], int] | None = None) -> None:
+        if period_ms <= 0:
+            raise ValueError("sampling period must be positive")
+        self.heap = heap
+        self.clock = clock
+        self.period_ms = period_ms
+        self.tracked_counter = tracked_counter
+        self.samples: list[ProfileSample] = []
+        self._next_sample_ms = 0.0
+
+    def maybe_sample(self) -> None:
+        """Take samples for every period boundary the clock has crossed."""
+        while self.clock.now_ms >= self._next_sample_ms:
+            self._take(self._next_sample_ms)
+            self._next_sample_ms += self.period_ms
+
+    def force_sample(self) -> None:
+        """Take one sample right now (used at run boundaries)."""
+        self._take(self.clock.now_ms)
+
+    def _take(self, when_ms: float) -> None:
+        tracked = (self.tracked_counter()
+                   if self.tracked_counter is not None else 0)
+        self.samples.append(ProfileSample(
+            time_ms=when_ms,
+            live_objects=self.heap.live_objects,
+            tracked_objects=tracked,
+            gc_pause_ms=self.heap.stats.pause_ms,
+        ))
+
+    def timeline(self) -> list[tuple[float, int, float]]:
+        """``(time, tracked_objects, cumulative_gc_ms)`` rows (Fig. 8a)."""
+        return [(s.time_ms, s.tracked_objects, s.gc_pause_ms)
+                for s in self.samples]

@@ -1,0 +1,206 @@
+"""The DAG scheduler: jobs → stages → tasks.
+
+Walking a job's lineage graph backwards, every :class:`ShuffleDependency`
+cuts a stage boundary, exactly as in Spark: parent *shuffle-map stages*
+write partitioned map outputs, the final *result stage* runs the action.
+Stages execute in topological order; each stage's partitions become tasks
+assigned round-robin to the executors, and the stage ends when its slowest
+executor finishes (a barrier that synchronizes the simulated clocks).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, TYPE_CHECKING
+
+from .metrics import JobMetrics, StageMetrics, TaskMetrics
+from .rdd import RDD, ShuffleDependency
+from .shuffle import MapSideWriter
+
+if TYPE_CHECKING:
+    from .context import DecaContext
+    from .executor import Executor
+
+
+@dataclass
+class TaskContext:
+    """Per-task state handed through the compute pipeline."""
+
+    executor: "Executor"
+    metrics: TaskMetrics
+    _start_ms: float = 0.0
+    _gc_start_ms: float = 0.0
+
+
+@dataclass
+class Stage:
+    """A pipelined set of tasks ending at a shuffle or the action."""
+
+    stage_id: int
+    rdd: RDD
+    shuffle_dep: ShuffleDependency | None  # None for the result stage
+    parents: list["Stage"] = field(default_factory=list)
+
+    @property
+    def is_result_stage(self) -> bool:
+        return self.shuffle_dep is None
+
+    @property
+    def num_tasks(self) -> int:
+        return self.rdd.num_partitions
+
+
+class DAGScheduler:
+    """Builds and runs the stage graph of each job."""
+
+    def __init__(self, ctx: "DecaContext") -> None:
+        self.ctx = ctx
+        self._stage_ids = itertools.count()
+        self._job_ids = itertools.count()
+        # Shuffles whose map outputs were already produced by an earlier
+        # job (Spark reuses shuffle files across jobs of one application).
+        self._shuffles_done: set[int] = set()
+
+    # -- stage graph construction -----------------------------------------------
+    def _build_stages(self, rdd: RDD) -> Stage:
+        """Return the result stage for *rdd*, with parents linked."""
+        shuffle_to_stage: dict[int, Stage] = {}
+
+        def stage_for_shuffle(dep: ShuffleDependency) -> Stage:
+            existing = shuffle_to_stage.get(dep.shuffle_id)
+            if existing is not None:
+                return existing
+            stage = Stage(next(self._stage_ids), dep.parent, dep,
+                          parents=parent_stages(dep.parent))
+            shuffle_to_stage[dep.shuffle_id] = stage
+            return stage
+
+        def parent_stages(r: RDD) -> list[Stage]:
+            parents: list[Stage] = []
+            visited: set[int] = set()
+            pending = [r]
+            while pending:
+                node = pending.pop()
+                if node.rdd_id in visited:
+                    continue
+                visited.add(node.rdd_id)
+                for dep in node.deps:
+                    if isinstance(dep, ShuffleDependency):
+                        parents.append(stage_for_shuffle(dep))
+                    else:
+                        pending.append(dep.parent)
+            return parents
+
+        return Stage(next(self._stage_ids), rdd, None,
+                     parents=parent_stages(rdd))
+
+    # -- execution ----------------------------------------------------------------
+    def run_job(self, rdd: RDD, func: Callable[[Any], Any],
+                name: str) -> list[Any]:
+        """Execute the action *func* over every partition of *rdd*."""
+        job_id = next(self._job_ids)
+        metrics = JobMetrics(job_id=job_id, name=name)
+        start_ms = self._sync_clocks()
+
+        result_stage = self._build_stages(rdd)
+        for stage in self._topological(result_stage):
+            if stage.is_result_stage:
+                continue
+            assert stage.shuffle_dep is not None
+            if stage.shuffle_dep.shuffle_id in self._shuffles_done:
+                continue
+            self._run_shuffle_map_stage(stage, metrics)
+            self._shuffles_done.add(stage.shuffle_dep.shuffle_id)
+
+        results = self._run_result_stage(result_stage, func, metrics)
+        metrics.wall_ms = self._sync_clocks() - start_ms
+        self.ctx._record_job(metrics)
+        return results
+
+    def _topological(self, result_stage: Stage) -> list[Stage]:
+        order: list[Stage] = []
+        seen: set[int] = set()
+
+        def visit(stage: Stage) -> None:
+            if stage.stage_id in seen:
+                return
+            seen.add(stage.stage_id)
+            for parent in stage.parents:
+                visit(parent)
+            order.append(stage)
+
+        visit(result_stage)
+        return order
+
+    def _run_shuffle_map_stage(self, stage: Stage,
+                               job_metrics: JobMetrics) -> None:
+        dep = stage.shuffle_dep
+        assert dep is not None
+        ctx = self.ctx
+        stage_metrics = StageMetrics(stage.stage_id,
+                                     f"shuffle-map:{stage.rdd.name}")
+        stage_start = self._sync_clocks()
+        ctx.shuffle_store.set_map_parts(dep.shuffle_id, stage.num_tasks)
+        plan = ctx.plan_shuffle(dep)
+        for split in range(stage.num_tasks):
+            executor = ctx.executor_for(split)
+            task = TaskContext(
+                executor=executor,
+                metrics=TaskMetrics(task_id=split,
+                                    stage_id=stage.stage_id))
+            executor.begin_task(task)
+            try:
+                writer = MapSideWriter(
+                    executor, dep.shuffle_id, split, dep.num_reduce,
+                    partitioner=dep.partitioner or ctx.partitioner,
+                    kind=dep.kind,
+                    merge_value=dep.merge_value, plan=plan)
+                records = stage.rdd.iterator(split, task)
+                writer.write_all(self._tagged(records, dep))
+                writer.flush(ctx.shuffle_store)
+                ctx._note_spill(writer.spilled_bytes)
+            finally:
+                executor.end_task(task)
+            stage_metrics.tasks.append(task.metrics)
+        stage_metrics.wall_ms = self._sync_clocks() - stage_start
+        job_metrics.stages.append(stage_metrics)
+
+    @staticmethod
+    def _tagged(records, dep: ShuffleDependency):
+        """Cogroup sides tag their values so the reader can split them."""
+        if dep.tag is None:
+            return records
+        return ((key, (dep.tag, value)) for key, value in records)
+
+    def _run_result_stage(self, stage: Stage,
+                          func: Callable[[Any], Any],
+                          job_metrics: JobMetrics) -> list[Any]:
+        ctx = self.ctx
+        stage_metrics = StageMetrics(stage.stage_id,
+                                     f"result:{stage.rdd.name}")
+        stage_start = self._sync_clocks()
+        results: list[Any] = []
+        for split in range(stage.num_tasks):
+            executor = ctx.executor_for(split)
+            task = TaskContext(
+                executor=executor,
+                metrics=TaskMetrics(task_id=split,
+                                    stage_id=stage.stage_id))
+            executor.begin_task(task)
+            try:
+                results.append(func(stage.rdd.iterator(split, task)))
+            finally:
+                executor.end_task(task)
+            stage_metrics.tasks.append(task.metrics)
+        stage_metrics.wall_ms = self._sync_clocks() - stage_start
+        job_metrics.stages.append(stage_metrics)
+        return results
+
+    def _sync_clocks(self) -> float:
+        """Barrier: advance every executor to the slowest one's time."""
+        executors = self.ctx.executors
+        latest = max(e.clock.now_ms for e in executors)
+        for executor in executors:
+            executor.clock.advance_to(latest)
+        return latest

@@ -1,0 +1,306 @@
+"""Shuffles: hash-based eager combining, sort buffers, spill (§4.2–§4.3).
+
+The write path mirrors Spark 1.6:
+
+* ``reduceByKey``-style operators use a **hash-based buffer with eager
+  combining**: one combined entry per key; every merge kills the old Value
+  object and creates a new one — the temporary churn of Fig. 8(a).  Deca's
+  plan may mark the Value an SFST, in which case the merge *reuses the
+  page segment in place* and the churn disappears (§4.3.2).
+* ``groupByKey``/``join``/``sortByKey`` write through per-partition append
+  buffers (sort-based shuffle, no map-side combine).
+
+The read path fetches map outputs (network cost for remote blocks),
+deserializes them (free for decomposed bytes), and feeds the reduce-side
+aggregation.  Buffers exceeding the shuffle memory budget spill to disk.
+
+The data plane is real — records actually move — while every cost lands on
+the owning executor's simulated clock.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
+
+from ..errors import ShuffleError
+from ..jvm.objects import Lifetime
+from ..memory.layout import Schema
+from .measure import RecordFootprint, measure_generic
+
+
+class ShuffleKind(enum.Enum):
+    """Reduce-side semantics of a shuffle."""
+
+    COMBINE = "combine"        # reduceByKey: merge combiners
+    GROUP = "group"            # groupByKey: build value lists
+    SORT = "sort"              # sortByKey: merge-sort by key
+    COGROUP = "cogroup"        # join: group both sides by key
+
+
+@dataclass(frozen=True)
+class ShufflePlan:
+    """How one shuffle stores its buffers (produced by the Deca optimizer).
+
+    *decomposed* — keys/values live as raw bytes in the buffer: no
+    per-record serialization at the boundary and near-zero GC footprint.
+    *value_segment_reuse* — the combined Value is an SFST, so eager merges
+    overwrite the segment in place instead of allocating (§4.3.2).
+    *pointer_array* — sorting/hashing runs over an array of pointers into
+    the pages (Fig. 6(b)); elidable when Key and Value are primitives or
+    SFSTs, because segment offsets are then statically known.
+    """
+
+    decomposed: bool = False
+    value_segment_reuse: bool = False
+    pointer_array: bool = False
+    schema: Schema | None = None
+    encode: Callable[[Any], Any] | None = None
+    measure: Callable[[Any], RecordFootprint] | None = None
+
+
+SPARK_SHUFFLE_PLAN = ShufflePlan()
+
+
+@dataclass
+class MapOutputBlock:
+    """One (map partition, reduce partition) shuffle block."""
+
+    records: list
+    nbytes: int
+    objects: int
+    executor_id: int
+    decomposed: bool
+    # Bytes this block's writer spilled mid-task: the reader must merge
+    # the sorted spill files with the final output (Appendix C: Deca
+    # merges through a single-page buffer; Spark re-reads the runs).
+    merge_penalty_bytes: int = 0
+
+
+class ShuffleBlockStore:
+    """Cluster-wide registry of map outputs (the "shuffle service")."""
+
+    def __init__(self) -> None:
+        self._blocks: dict[tuple[int, int, int], MapOutputBlock] = {}
+        self._num_map_parts: dict[int, int] = {}
+
+    def register(self, shuffle_id: int, map_part: int, reduce_part: int,
+                 block: MapOutputBlock) -> None:
+        self._blocks[(shuffle_id, map_part, reduce_part)] = block
+
+    def set_map_parts(self, shuffle_id: int, count: int) -> None:
+        self._num_map_parts[shuffle_id] = count
+
+    def map_parts(self, shuffle_id: int) -> int:
+        try:
+            return self._num_map_parts[shuffle_id]
+        except KeyError:
+            raise ShuffleError(
+                f"unknown shuffle {shuffle_id}") from None
+
+    def fetch(self, shuffle_id: int, map_part: int,
+              reduce_part: int) -> MapOutputBlock | None:
+        return self._blocks.get((shuffle_id, map_part, reduce_part))
+
+    def remove_shuffle(self, shuffle_id: int) -> None:
+        for key in [k for k in self._blocks if k[0] == shuffle_id]:
+            del self._blocks[key]
+        self._num_map_parts.pop(shuffle_id, None)
+
+
+def _default_measure(value) -> RecordFootprint:
+    return measure_generic(value)
+
+
+class MapSideWriter:
+    """Writes one map task's output into per-reduce-partition buffers."""
+
+    def __init__(self, executor, shuffle_id: int, map_part: int,
+                 num_reduce: int,
+                 partitioner: Callable[[Any], int],
+                 kind: ShuffleKind,
+                 merge_value: Callable[[Any, Any], Any] | None = None,
+                 plan: ShufflePlan = SPARK_SHUFFLE_PLAN) -> None:
+        if kind is ShuffleKind.COMBINE and merge_value is None:
+            raise ShuffleError("combine shuffles need a merge function")
+        self.executor = executor
+        self.shuffle_id = shuffle_id
+        self.map_part = map_part
+        self.num_reduce = num_reduce
+        self.partitioner = partitioner
+        self.kind = kind
+        self.merge_value = merge_value
+        self.plan = plan
+        self.measure = plan.measure or _default_measure
+        # Data plane: combined entries or append lists per reduce part.
+        self._combine: list[dict[Any, Any]] = [dict()
+                                               for _ in range(num_reduce)]
+        self._append: list[list] = [[] for _ in range(num_reduce)]
+        self._buffer_group = executor.heap.new_group(
+            f"shuffle-buf:{shuffle_id}:{map_part}", Lifetime.PINNED)
+        self._buffer_bytes = 0
+        self.spilled_bytes = 0
+        self.records_written = 0
+        self._page_bytes = executor.config.page_bytes
+
+    # -- write path -----------------------------------------------------------
+    def write_all(self, records: Iterable[tuple[Any, Any]]) -> None:
+        cpu = self.executor.config.cpu
+        if self.kind is ShuffleKind.COMBINE:
+            for key, value in records:
+                self._write_combine(key, value, cpu)
+        else:
+            for key, value in records:
+                self._write_append(key, value, cpu)
+
+    def _write_combine(self, key, value, cpu) -> None:
+        part = self.partitioner(key) % self.num_reduce
+        bucket = self._combine[part]
+        self.executor.charge_compute(cpu.hash_probe_ms)
+        old = bucket.get(key)
+        if old is None:
+            bucket[key] = value
+            footprint = self.measure((key, value))
+            if self.plan.decomposed:
+                # Decompose the fresh entry straight into buffer bytes.
+                self.executor.serializer.deca_write(1, footprint.data_bytes)
+                self._account_decomposed(footprint.data_bytes)
+            else:
+                self.executor.charge_compute(
+                    cpu.object_alloc_ms * footprint.objects
+                    + cpu.boxing_ms)
+                self._account_buffer(footprint.objects,
+                                     footprint.object_bytes)
+        else:
+            merged = self.merge_value(old, value)
+            bucket[key] = merged
+            if self.plan.decomposed and self.plan.value_segment_reuse:
+                # SFST value: overwrite the old segment in place — no
+                # allocation, no dead object (§4.3.2).
+                self.executor.charge_compute(cpu.page_access_ms)
+            else:
+                # A new Value object replaces the old one: allocation plus
+                # a short-lived temporary for the collector to chase.
+                footprint = self.measure((key, merged))
+                self.executor.charge_compute(
+                    cpu.object_alloc_ms + cpu.boxing_ms)
+                self.executor.alloc_temp(max(1, footprint.objects - 1),
+                                         footprint.object_bytes // 2)
+        self.records_written += 1
+        self._maybe_spill()
+
+    def _write_append(self, key, value, cpu) -> None:
+        part = self.partitioner(key) % self.num_reduce
+        self._append[part].append((key, value))
+        footprint = self.measure((key, value))
+        if self.plan.decomposed:
+            self.executor.serializer.deca_write(1, footprint.data_bytes)
+            self._account_decomposed(footprint.data_bytes)
+        else:
+            self.executor.charge_compute(
+                cpu.object_alloc_ms * footprint.objects)
+            self._account_buffer(footprint.objects, footprint.object_bytes)
+        self.records_written += 1
+        self._maybe_spill()
+
+    def _account_decomposed(self, nbytes: int) -> None:
+        """Account decomposed buffer bytes at page granularity.
+
+        The records live inside a few byte-array pages; the heap only sees
+        a new object when the bytes cross into a fresh page (§4.3.1).
+        """
+        pages_before = self._buffer_bytes // self._page_bytes
+        pages_after = (self._buffer_bytes + nbytes) // self._page_bytes
+        new_pages = pages_after - pages_before
+        if self._buffer_bytes == 0 and nbytes > 0:
+            new_pages += 1  # the first page
+        self.executor.heap.allocate(self._buffer_group, new_pages, nbytes)
+        self._buffer_bytes += nbytes
+
+    def _account_buffer(self, objects: int, nbytes: int) -> None:
+        self.executor.heap.allocate(self._buffer_group, objects, nbytes)
+        self._buffer_bytes += nbytes
+
+    def _maybe_spill(self) -> None:
+        budget = self.executor.config.shuffle_bytes
+        if self._buffer_bytes <= budget:
+            return
+        # Sort and spill the buffered bytes, then release the heap space
+        # (the data plane keeps the records; only costs are charged).
+        cpu = self.executor.config.cpu
+        self.executor.charge_compute(
+            cpu.sort_per_record_ms * self.records_written)
+        self.executor.charge_disk_write(self._buffer_bytes)
+        self.spilled_bytes += self._buffer_bytes
+        self.executor.heap.free_group(self._buffer_group)
+        self._buffer_group = self.executor.heap.new_group(
+            f"shuffle-buf:{self.shuffle_id}:{self.map_part}:spill",
+            Lifetime.PINNED)
+        self._buffer_bytes = 0
+
+    # -- flush -----------------------------------------------------------------
+    def flush(self, store: ShuffleBlockStore) -> None:
+        """Sort, serialize and register the per-partition outputs."""
+        cpu = self.executor.config.cpu
+        for part in range(self.num_reduce):
+            if self.kind is ShuffleKind.COMBINE:
+                records = list(self._combine[part].items())
+            else:
+                records = self._append[part]
+                if self.kind is ShuffleKind.SORT:
+                    self.executor.charge_compute(
+                        cpu.sort_per_record_ms * len(records))
+                    records = sorted(records, key=lambda kv: kv[0])
+            objects = 0
+            nbytes = 0
+            for record in records:
+                footprint = self.measure(record)
+                objects += footprint.objects
+                nbytes += footprint.serialized_bytes
+            if self.plan.decomposed:
+                # The pages already are the wire format.
+                self.executor.charge_disk_write(nbytes)
+            else:
+                self.executor.serializer.kryo_serialize(objects, nbytes)
+                self.executor.charge_disk_write(nbytes)
+            penalty = self.spilled_bytes // self.num_reduce
+            store.register(
+                self.shuffle_id, self.map_part, part,
+                MapOutputBlock(records=records, nbytes=nbytes,
+                               objects=objects,
+                               executor_id=self.executor.executor_id,
+                               decomposed=self.plan.decomposed,
+                               merge_penalty_bytes=penalty))
+        # The buffer's lifetime ends with the task (§4.2).
+        if not self._buffer_group.freed:
+            self.executor.heap.free_group(self._buffer_group)
+
+
+def read_reduce_partition(executor, store: ShuffleBlockStore,
+                          shuffle_id: int, reduce_part: int,
+                          ) -> Iterator[tuple[Any, Any]]:
+    """Fetch and yield one reduce partition's records.
+
+    Remote blocks pay network cost; all blocks pay disk read (map outputs
+    are files); object-form blocks pay per-record deserialization while
+    decomposed blocks are read in place.
+    """
+    num_maps = store.map_parts(shuffle_id)
+    for map_part in range(num_maps):
+        block = store.fetch(shuffle_id, map_part, reduce_part)
+        if block is None:
+            continue
+        executor.charge_disk_read(block.nbytes)
+        if block.merge_penalty_bytes:
+            # Merge the sorted spill runs through a one-page buffer
+            # (Appendix C): an extra sequential read of the spilled data.
+            executor.charge_disk_read(block.merge_penalty_bytes)
+        if block.executor_id != executor.executor_id:
+            executor.charge_network(block.nbytes)
+        if block.decomposed:
+            executor.serializer.deca_read(len(block.records), block.nbytes)
+        else:
+            executor.serializer.kryo_deserialize(block.objects,
+                                                 block.nbytes)
+        yield from block.records

@@ -1,0 +1,48 @@
+"""A mini columnar SQL engine — the Spark SQL baseline of Table 6.
+
+Spark SQL caches tables in a serialized column-oriented format and (with
+Tungsten) keeps aggregation buffers serialized too, so its GC footprint is
+a handful of column arrays regardless of row count.  This package
+reproduces that baseline: schema'd tables cached column-wise in packed
+byte arrays on the simulated heap, with filter and GroupBy-aggregate
+operators that do the real work while charging per-row costs.
+
+Example::
+
+    engine = SqlEngine(config)
+    engine.register_table("rankings", RANKINGS_SCHEMA, rows)
+    engine.cache_table("rankings")
+    result = engine.run(
+        select(["pageURL", "pageRank"], "rankings",
+               where=("pageRank", ">", 100)))
+"""
+
+from .schema import Column, ColumnType, TableSchema
+from .columnar import ColumnarTable
+from .engine import (
+    Aggregation,
+    Filter,
+    Query,
+    QueryResult,
+    SqlEngine,
+    groupby_agg,
+    groupby_sum,
+    select,
+)
+from .parser import parse
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "TableSchema",
+    "ColumnarTable",
+    "Aggregation",
+    "Filter",
+    "Query",
+    "QueryResult",
+    "SqlEngine",
+    "groupby_agg",
+    "groupby_sum",
+    "select",
+    "parse",
+]

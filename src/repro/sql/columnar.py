@@ -1,0 +1,126 @@
+"""Column-wise table storage (the Spark SQL in-memory cache).
+
+Each fixed-width column becomes one packed byte array; each string column
+becomes a packed UTF-8 blob plus an offsets array.  A million-row table is
+therefore a dozen heap objects — which is exactly why Spark SQL's GC time
+in Table 6 is negligible while row-object Spark spends half the query on
+collections.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Iterator, Sequence
+
+from ..errors import SchemaError
+from ..jvm.heap import SimHeap
+from ..jvm.objects import AllocationGroup, Lifetime
+from ..jvm.sizing import array_bytes
+from .schema import ColumnType, TableSchema
+
+
+class _FixedColumn:
+    """A packed fixed-width column."""
+
+    def __init__(self, code: str, values: Sequence[Any]) -> None:
+        self._struct = struct.Struct(f"<{len(values)}{code}")
+        self.data = bytearray(self._struct.size)
+        self._struct.pack_into(self.data, 0, *values)
+        self._item = struct.Struct(f"<{code}")
+        self.count = len(values)
+
+    def get(self, row: int) -> Any:
+        (value,) = self._item.unpack_from(self.data,
+                                          row * self._item.size)
+        return value
+
+    def values(self) -> Iterator[Any]:
+        return iter(self._struct.unpack_from(self.data, 0))
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.data)
+
+
+class _StringColumn:
+    """A packed string column: UTF-8 blob + offset array."""
+
+    def __init__(self, values: Sequence[str]) -> None:
+        blob = bytearray()
+        offsets = [0]
+        for value in values:
+            blob.extend(value.encode("utf-8"))
+            offsets.append(len(blob))
+        self.blob = bytes(blob)
+        self.offsets = offsets
+        self.count = len(values)
+
+    def get(self, row: int) -> str:
+        return self.blob[self.offsets[row]:self.offsets[row + 1]] \
+            .decode("utf-8")
+
+    def get_prefix(self, row: int, length: int) -> str:
+        """``SUBSTR(col, 1, length)`` without decoding the whole string."""
+        start = self.offsets[row]
+        end = min(start + length, self.offsets[row + 1])
+        return self.blob[start:end].decode("utf-8", errors="ignore")
+
+    def values(self) -> Iterator[str]:
+        for row in range(self.count):
+            yield self.get(row)
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.blob) + 4 * len(self.offsets)
+
+
+class ColumnarTable:
+    """One table cached column-wise, registered on a simulated heap."""
+
+    def __init__(self, schema: TableSchema,
+                 rows: Sequence[Sequence[Any]],
+                 heap: SimHeap | None = None) -> None:
+        for row in rows:
+            schema.validate_row(row)
+        self.schema = schema
+        self.row_count = len(rows)
+        self._columns: list[_FixedColumn | _StringColumn] = []
+        for index, column in enumerate(schema.columns):
+            values = [row[index] for row in rows]
+            if column.ctype is ColumnType.STRING:
+                self._columns.append(_StringColumn(values))
+            else:
+                code = column.ctype.struct_code
+                assert code is not None
+                self._columns.append(_FixedColumn(code, values))
+        self._group: AllocationGroup | None = None
+        if heap is not None:
+            # Two heap objects per column (data + bookkeeping array).
+            self._group = heap.new_group(
+                f"sql-table:{schema.name}", Lifetime.PINNED)
+            heap.allocate(self._group, 2 * len(self._columns),
+                          self.memory_bytes)
+        self._heap = heap
+
+    @property
+    def memory_bytes(self) -> int:
+        return sum(array_bytes(1, c.nbytes) for c in self._columns)
+
+    def column(self, name: str) -> _FixedColumn | _StringColumn:
+        return self._columns[self.schema.column_index(name)]
+
+    def row(self, index: int) -> tuple:
+        if not 0 <= index < self.row_count:
+            raise SchemaError(f"row {index} out of range")
+        return tuple(c.get(index) for c in self._columns)
+
+    def release(self) -> None:
+        """Drop the cached columns (the table's lifetime ends)."""
+        if self._group is not None and not self._group.freed \
+                and self._heap is not None:
+            self._heap.free_group(self._group)
+            self._group = None
+
+    def __repr__(self) -> str:
+        return (f"ColumnarTable({self.schema.name!r}, "
+                f"rows={self.row_count}, {self.memory_bytes} B)")

@@ -1,0 +1,267 @@
+"""The mini SQL engine: filter and GroupBy-aggregate over columnar tables.
+
+Covers exactly the two exploratory queries of §6.6::
+
+    SELECT pageURL, pageRank FROM rankings WHERE pageRank > 100;
+
+    SELECT SUBSTR(sourceIP, 1, 5), SUM(adRevenue)
+    FROM uservisits GROUP BY SUBSTR(sourceIP, 1, 5);
+
+expressed through a small structured-query API (:func:`select` /
+:func:`groupby_sum`).  Execution is columnar: predicates scan the packed
+column bytes directly, and aggregation buffers hold primitive sums — the
+Tungsten-style serialized aggregation that keeps Spark SQL's GC time at
+zero in Table 6.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..config import DecaConfig
+from ..errors import SqlError
+from ..jvm.heap import SimHeap
+from ..jvm.objects import Lifetime
+from ..simtime import SimClock
+from .columnar import ColumnarTable, _StringColumn
+from .schema import ColumnType, TableSchema
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+@dataclass(frozen=True)
+class Filter:
+    """``WHERE column <op> literal``."""
+
+    column: str
+    op: str
+    literal: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise SqlError(f"unsupported operator {self.op!r}")
+
+
+_AGGREGATE_FUNCS = ("SUM", "COUNT", "AVG", "MIN", "MAX")
+
+
+@dataclass(frozen=True)
+class Aggregation:
+    """``SELECT <key expr>, <func>(value) ... GROUP BY <key expr>``.
+
+    *key_prefix* of ``None`` groups by the whole key column; *func* is one
+    of SUM/COUNT/AVG/MIN/MAX (the aggregates Tungsten serializes, §7).
+    """
+
+    key_column: str
+    value_column: str
+    key_prefix: int | None = None
+    func: str = "SUM"
+
+    def __post_init__(self) -> None:
+        if self.func not in _AGGREGATE_FUNCS:
+            raise SqlError(f"unsupported aggregate {self.func!r}; "
+                           f"choose from {_AGGREGATE_FUNCS}")
+
+
+@dataclass(frozen=True)
+class Query:
+    """One supported query shape against one table."""
+
+    table: str
+    projection: tuple[str, ...] = ()
+    where: Filter | None = None
+    aggregation: Aggregation | None = None
+
+    def __post_init__(self) -> None:
+        if self.aggregation is None and not self.projection:
+            raise SqlError("a non-aggregate query needs a projection")
+
+
+def select(columns: Sequence[str], table: str,
+           where: tuple[str, str, Any] | None = None) -> Query:
+    """Build a projection/filter query (§6.6 Query 1 shape)."""
+    condition = Filter(*where) if where is not None else None
+    return Query(table=table, projection=tuple(columns), where=condition)
+
+
+def groupby_sum(table: str, key_column: str, value_column: str,
+                key_prefix: int | None = None) -> Query:
+    """Build a GroupBy-SUM query (§6.6 Query 2 shape)."""
+    return Query(table=table,
+                 aggregation=Aggregation(key_column, value_column,
+                                         key_prefix))
+
+
+def groupby_agg(table: str, func: str, key_column: str,
+                value_column: str,
+                key_prefix: int | None = None) -> Query:
+    """Build a GroupBy query with any supported aggregate function."""
+    return Query(table=table,
+                 aggregation=Aggregation(key_column, value_column,
+                                         key_prefix, func=func))
+
+
+@dataclass
+class QueryResult:
+    """Rows plus the costs the engine charged."""
+
+    rows: list[tuple]
+    wall_ms: float
+    gc_pause_ms: float
+    cached_bytes: int
+
+
+class SqlEngine:
+    """The Spark SQL stand-in: columnar cache + two physical operators."""
+
+    def __init__(self, config: DecaConfig | None = None) -> None:
+        self.config = config or DecaConfig()
+        self.clock = SimClock()
+        self.heap = SimHeap(self.config, self.clock, "sql-engine")
+        self._tables: dict[str, tuple[TableSchema, list]] = {}
+        self._cached: dict[str, ColumnarTable] = {}
+
+    # -- catalog --------------------------------------------------------------
+    def register_table(self, name: str, schema: TableSchema,
+                       rows: Sequence[Sequence[Any]]) -> None:
+        if name in self._tables:
+            raise SqlError(f"table {name!r} already registered")
+        self._tables[name] = (schema, list(rows))
+
+    def cache_table(self, name: str) -> ColumnarTable:
+        """Materialize a table into the columnar in-memory cache."""
+        schema, rows = self._lookup(name)
+        if name in self._cached:
+            return self._cached[name]
+        cpu = self.config.cpu
+        # Column-wise encoding cost: one pass over every cell.
+        self.clock.advance(
+            cpu.record_op_ms * len(rows) * len(schema.columns) * 0.25)
+        table = ColumnarTable(schema, rows, heap=self.heap)
+        self._cached[name] = table
+        return table
+
+    def uncache_table(self, name: str) -> None:
+        table = self._cached.pop(name, None)
+        if table is not None:
+            table.release()
+
+    def _lookup(self, name: str) -> tuple[TableSchema, list]:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SqlError(f"unknown table {name!r}") from None
+
+    @property
+    def cached_bytes(self) -> int:
+        return sum(t.memory_bytes for t in self._cached.values())
+
+    def sql(self, statement: str) -> QueryResult:
+        """Parse and run a SQL statement (the §6.6 dialect)."""
+        from .parser import parse
+        return self.run(parse(statement))
+
+    # -- execution --------------------------------------------------------------
+    def run(self, query: Query) -> QueryResult:
+        schema, _ = self._lookup(query.table)
+        table = self.cache_table(query.table)
+        start_ms = self.clock.now_ms
+        gc_start = self.heap.stats.pause_ms
+        if query.aggregation is not None:
+            rows = self._run_aggregate(table, query.aggregation)
+        else:
+            rows = self._run_scan(table, query)
+        return QueryResult(
+            rows=rows,
+            wall_ms=self.clock.now_ms - start_ms,
+            gc_pause_ms=self.heap.stats.pause_ms - gc_start,
+            cached_bytes=self.cached_bytes,
+        )
+
+    def _run_scan(self, table: ColumnarTable, query: Query) -> list[tuple]:
+        cpu = self.config.cpu
+        count = table.row_count
+        matches: list[int]
+        if query.where is not None:
+            condition = query.where
+            column = table.column(condition.column)
+            op = _OPS[condition.op]
+            literal = condition.literal
+            # A tight scan over one packed column.
+            self.clock.advance(cpu.page_access_ms * count)
+            matches = [row for row, value in enumerate(column.values())
+                       if op(value, literal)]
+        else:
+            matches = list(range(count))
+        projected = [table.column(name) for name in query.projection]
+        self.clock.advance(cpu.page_access_ms * len(matches)
+                           * max(1, len(projected)))
+        # Result rows are short-lived driver objects.
+        temp = self.heap.new_group("sql-result", Lifetime.TEMPORARY)
+        self.heap.allocate(temp, len(matches), 48 * max(1, len(matches)))
+        out = [tuple(col.get(row) for col in projected) for row in matches]
+        self.heap.free_group(temp)
+        return out
+
+    def _run_aggregate(self, table: ColumnarTable,
+                       agg: Aggregation) -> list[tuple]:
+        cpu = self.config.cpu
+        key_col = table.column(agg.key_column)
+        value_col = table.column(agg.value_column)
+        key_type = table.schema.column(agg.key_column).ctype
+        if agg.key_prefix is not None \
+                and key_type is not ColumnType.STRING:
+            raise SqlError("SUBSTR needs a string column")
+        # One pass over the two columns; the aggregation buffer holds
+        # primitive accumulators (Tungsten-style), not boxed objects.
+        count = table.row_count
+        self.clock.advance((cpu.page_access_ms * 2 + cpu.hash_probe_ms)
+                           * count)
+        buffer_group = self.heap.new_group("sql-agg-buffer",
+                                           Lifetime.PINNED)
+        # Accumulators: (sum, count) pairs cover every supported function.
+        acc: dict[Any, list] = {}
+        for row in range(count):
+            if agg.key_prefix is not None:
+                assert isinstance(key_col, _StringColumn)
+                key = key_col.get_prefix(row, agg.key_prefix)
+            else:
+                key = key_col.get(row)
+            value = value_col.get(row)
+            slot = acc.get(key)
+            if slot is None:
+                acc[key] = [value, 1, value, value]
+                self.heap.allocate(buffer_group, 1, 56)
+            else:
+                slot[0] += value
+                slot[1] += 1
+                if value < slot[2]:
+                    slot[2] = value
+                if value > slot[3]:
+                    slot[3] = value
+        self.heap.free_group(buffer_group)
+        out = []
+        for key, (total, n, low, high) in acc.items():
+            if agg.func == "SUM":
+                result: Any = total
+            elif agg.func == "COUNT":
+                result = n
+            elif agg.func == "AVG":
+                result = total / n
+            elif agg.func == "MIN":
+                result = low
+            else:
+                result = high
+            out.append((key, result))
+        return sorted(out)

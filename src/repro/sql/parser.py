@@ -1,0 +1,155 @@
+"""A small SQL parser for the query shapes of §6.6.
+
+Covers exactly the dialect the paper's comparison uses::
+
+    SELECT pageURL, pageRank FROM rankings WHERE pageRank > 100;
+
+    SELECT SUBSTR(sourceIP, 1, 5), SUM(adRevenue)
+    FROM uservisits GROUP BY SUBSTR(sourceIP, 1, 5);
+
+i.e. projection with an optional single comparison predicate, and
+GroupBy-aggregation with ``SUM`` over an optional ``SUBSTR`` key.  The
+parser produces the structured :class:`~repro.sql.engine.Query` the
+engine executes; anything outside the dialect raises
+:class:`~repro.errors.SqlError` with a pointed message.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import SqlError
+from .engine import Aggregation, Filter, Query
+
+_WS = r"\s+"
+_IDENT = r"[A-Za-z_][A-Za-z_0-9]*"
+_LITERAL = r"(?:-?\d+(?:\.\d+)?|'[^']*')"
+
+_SUBSTR = re.compile(
+    rf"SUBSTR\s*\(\s*({_IDENT})\s*,\s*1\s*,\s*(\d+)\s*\)",
+    re.IGNORECASE)
+_AGG = re.compile(
+    rf"(SUM|COUNT|AVG|MIN|MAX)\s*\(\s*({_IDENT})\s*\)",
+    re.IGNORECASE)
+
+_SELECT = re.compile(
+    rf"^\s*SELECT{_WS}(?P<select>.+?)"
+    rf"{_WS}FROM{_WS}(?P<table>{_IDENT})"
+    rf"(?:{_WS}WHERE{_WS}(?P<where>.+?))?"
+    rf"(?:{_WS}GROUP{_WS}BY{_WS}(?P<group>.+?))?"
+    rf"\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL)
+
+_CONDITION = re.compile(
+    rf"^\s*({_IDENT})\s*(>=|<=|!=|==|=|>|<)\s*({_LITERAL})\s*$")
+
+
+def parse(sql: str) -> Query:
+    """Parse *sql* into a :class:`Query`."""
+    match = _SELECT.match(sql)
+    if match is None:
+        raise SqlError(
+            "unsupported statement; expected "
+            "SELECT ... FROM <table> [WHERE ...] [GROUP BY ...]")
+    table = match.group("table")
+    select = match.group("select").strip()
+    where = match.group("where")
+    group = match.group("group")
+
+    if group is not None:
+        return _parse_aggregate(table, select, group, where)
+    return _parse_scan(table, select, where)
+
+
+def _parse_scan(table: str, select: str, where: str | None) -> Query:
+    columns = []
+    for part in select.split(","):
+        name = part.strip()
+        if not re.fullmatch(_IDENT, name):
+            raise SqlError(
+                f"unsupported select expression {name!r}; plain column "
+                "names only (aggregates need GROUP BY)")
+        columns.append(name)
+    condition = _parse_condition(where) if where is not None else None
+    return Query(table=table, projection=tuple(columns), where=condition)
+
+
+def _parse_condition(text: str) -> Filter:
+    match = _CONDITION.match(text)
+    if match is None:
+        raise SqlError(
+            f"unsupported WHERE clause {text.strip()!r}; expected "
+            "<column> <op> <literal>")
+    column, op, literal = match.groups()
+    return Filter(column, op, _parse_literal(literal))
+
+
+def _parse_literal(text: str):
+    if text.startswith("'"):
+        return text[1:-1]
+    if "." in text:
+        return float(text)
+    return int(text)
+
+
+def _parse_aggregate(table: str, select: str, group: str,
+                     where: str | None) -> Query:
+    if where is not None:
+        raise SqlError("WHERE together with GROUP BY is not supported")
+    group = group.strip()
+    substr = _SUBSTR.fullmatch(group)
+    if substr is not None:
+        key_column = substr.group(1)
+        key_prefix: int | None = int(substr.group(2))
+    elif re.fullmatch(_IDENT, group):
+        key_column, key_prefix = group, None
+    else:
+        raise SqlError(
+            f"unsupported GROUP BY expression {group!r}; expected a "
+            "column or SUBSTR(column, 1, n)")
+
+    # The select list must be: the group key expression, then one
+    # aggregate over a column.
+    parts = _split_select(select)
+    if len(parts) != 2:
+        raise SqlError(
+            "aggregate queries select exactly the group key and one "
+            "aggregate function")
+    key_part, agg_part = parts
+    if _normalize(key_part) != _normalize(group):
+        raise SqlError(
+            f"select key {key_part!r} must match the GROUP BY "
+            f"expression {group!r}")
+    agg_match = _AGG.fullmatch(agg_part.strip())
+    if agg_match is None:
+        raise SqlError(
+            f"unsupported aggregate {agg_part.strip()!r}; expected "
+            "SUM/COUNT/AVG/MIN/MAX(column)")
+    return Query(table=table,
+                 aggregation=Aggregation(key_column,
+                                         agg_match.group(2),
+                                         key_prefix,
+                                         func=agg_match.group(1).upper()))
+
+
+def _split_select(select: str) -> list[str]:
+    """Split the select list on commas not inside parentheses."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in select:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current))
+    return [p.strip() for p in parts]
+
+
+def _normalize(expr: str) -> str:
+    return re.sub(r"\s+", "", expr).lower()

@@ -1,0 +1,98 @@
+"""Table schemas for the mini SQL engine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Supported column types (the Big Data Benchmark schema needs these)."""
+
+    INT = "int"
+    LONG = "long"
+    DOUBLE = "double"
+    STRING = "string"
+
+    @property
+    def struct_code(self) -> str | None:
+        """Struct code for fixed-width columns (None for strings)."""
+        return {"int": "i", "long": "q", "double": "d"}.get(self.value)
+
+    def validate(self, value: Any) -> None:
+        if self is ColumnType.STRING:
+            if not isinstance(value, str):
+                raise SchemaError(f"expected str, got {value!r}")
+        elif self is ColumnType.DOUBLE:
+            if not isinstance(value, (int, float)):
+                raise SchemaError(f"expected number, got {value!r}")
+        else:
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise SchemaError(f"expected int, got {value!r}")
+
+
+@dataclass(frozen=True)
+class Column:
+    name: str
+    ctype: ColumnType
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name cannot be empty")
+
+
+class TableSchema:
+    """An ordered list of named, typed columns."""
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        if not columns:
+            raise SchemaError(f"table {name!r} needs at least one column")
+        self.name = name
+        self.columns = tuple(columns)
+        self._index = {c.name: i for i, c in enumerate(self.columns)}
+        if len(self._index) != len(self.columns):
+            raise SchemaError(f"duplicate column names in {name!r}")
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_index(name)]
+
+    def validate_row(self, row: Sequence[Any]) -> None:
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"row arity {len(row)} != {len(self.columns)} "
+                f"for table {self.name!r}")
+        for column, value in zip(self.columns, row):
+            column.ctype.validate(value)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name} {c.ctype.value}" for c in self.columns)
+        return f"TableSchema({self.name!r}: {cols})"
+
+
+RANKINGS_SCHEMA = TableSchema("rankings", [
+    Column("pageURL", ColumnType.STRING),
+    Column("pageRank", ColumnType.INT),
+    Column("avgDuration", ColumnType.INT),
+])
+
+USERVISITS_SCHEMA = TableSchema("uservisits", [
+    Column("sourceIP", ColumnType.STRING),
+    Column("destURL", ColumnType.STRING),
+    Column("visitDate", ColumnType.INT),
+    Column("adRevenue", ColumnType.DOUBLE),
+    Column("userAgent", ColumnType.STRING),
+    Column("countryCode", ColumnType.STRING),
+    Column("languageCode", ColumnType.STRING),
+    Column("searchWord", ColumnType.STRING),
+    Column("duration", ColumnType.INT),
+])

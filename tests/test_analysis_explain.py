@@ -1,0 +1,75 @@
+"""Tests for the classification explainer."""
+
+from repro.analysis import (
+    ArrayType,
+    CallGraph,
+    ClassType,
+    DOUBLE,
+    Field,
+    INT,
+    explain_classification,
+)
+from repro.apps.udts import (
+    make_graph_model,
+    make_labeled_point_model,
+    make_wordcount_model,
+)
+
+
+class TestExplainLocal:
+    def test_running_example_names_the_culprit_field(self):
+        m = make_labeled_point_model()
+        text = explain_classification(m.labeled_point)
+        assert "local (Algorithm 1): variable" in text
+        assert "var features" in text
+        assert "non-final field holding RFSTs" in text
+        assert "verdict: variable" in text
+
+    def test_recursive_type_shows_the_cycle(self):
+        node = ClassType("Node", [Field("v", INT)])
+        node.add_field(Field("next", node))
+        text = explain_classification(node)
+        assert "recursively-defined" in text
+        assert "Node -> Node" in text
+
+    def test_array_explanation(self):
+        text = explain_classification(ArrayType(DOUBLE))
+        assert "element: static-fixed" in text
+
+
+class TestExplainGlobal:
+    def test_refined_verdict_with_fixed_length_evidence(self):
+        m = make_labeled_point_model(dimensions=10)
+        cg = CallGraph.build(m.stage_entry, known_types=(m.labeled_point,))
+        text = explain_classification(m.labeled_point, cg)
+        assert "global (Algorithms 2-4): static-fixed" in text
+        assert "fixed-length" in text
+        assert "length = 10" in text
+        assert "(decomposable)" in text
+
+    def test_wordcount_explains_variable_lengths(self):
+        wc = make_wordcount_model()
+        cg = CallGraph.build(wc.stage_entry, known_types=(wc.tuple2,))
+        text = explain_classification(wc.tuple2, cg)
+        assert "runtime-fixed" in text
+
+    def test_adjacency_not_init_only_in_build_stage(self):
+        gm = make_graph_model()
+        cg = CallGraph.build(gm.build_stage_entry,
+                             known_types=(gm.adjacency,))
+        text = explain_classification(gm.adjacency, cg)
+        assert "NOT init-only" in text
+        assert "kept in object form" in text
+
+    def test_assume_init_only_flips_the_verdict(self):
+        gm = make_graph_model()
+        cg = CallGraph.build(gm.iterate_stage_entry,
+                             known_types=(gm.adjacency,))
+        text = explain_classification(
+            gm.adjacency, cg, assume_init_only=(gm.neighbors_field,))
+        assert "verdict: runtime-fixed (decomposable)" in text
+
+    def test_no_callgraph_notes_the_limitation(self):
+        m = make_labeled_point_model()
+        text = explain_classification(m.labeled_point)
+        assert "global refinement unavailable" in text

@@ -1,0 +1,272 @@
+"""Tests for Algorithms 2–4 — global classification and its predicates."""
+
+import pytest
+
+from repro.analysis import (
+    ArrayType,
+    Assign,
+    CallGraph,
+    ClassType,
+    Const,
+    DOUBLE,
+    Field,
+    GlobalClassifier,
+    INT,
+    Local,
+    Loop,
+    Method,
+    NewArray,
+    NewObject,
+    Return,
+    SizeType,
+    StoreField,
+    SymInput,
+    classify_locally,
+)
+from repro.analysis.ir import Call
+from repro.apps.udts import (
+    make_graph_model,
+    make_labeled_point_model,
+    make_wordcount_model,
+)
+
+
+class TestPaperRunningExample:
+    """Fig. 1/Fig. 3: LabeledPoint refines from VST to SFST globally."""
+
+    def test_labeled_point_refines_to_sfst(self):
+        m = make_labeled_point_model(dimensions=10)
+        cg = CallGraph.build(m.stage_entry, known_types=(m.labeled_point,))
+        classifier = GlobalClassifier(cg)
+        assert classify_locally(m.labeled_point) is SizeType.VARIABLE
+        assert classifier.classify(m.labeled_point) is SizeType.STATIC_FIXED
+
+    def test_symbolic_dimension_also_refines(self):
+        m = make_labeled_point_model(dimensions=None)
+        cg = CallGraph.build(m.stage_entry, known_types=(m.labeled_point,))
+        assert GlobalClassifier(cg).classify(m.labeled_point) \
+            is SizeType.STATIC_FIXED
+
+    def test_mixed_lengths_stay_variable(self):
+        m = make_labeled_point_model(dimensions=10, fixed_length=False)
+        cg = CallGraph.build(m.stage_entry, known_types=(m.labeled_point,))
+        assert GlobalClassifier(cg).classify(m.labeled_point) \
+            is SizeType.VARIABLE
+
+    def test_features_field_is_init_only(self):
+        m = make_labeled_point_model()
+        cg = CallGraph.build(m.stage_entry, known_types=(m.labeled_point,))
+        assert cg.is_init_only(m.features_field)
+
+    def test_data_array_is_fixed_length(self):
+        m = make_labeled_point_model()
+        cg = CallGraph.build(m.stage_entry, known_types=(m.labeled_point,))
+        assert GlobalClassifier(cg).is_fixed_length(m.double_array)
+
+
+class TestWordCountTypes:
+    def test_tuple2_refines_to_rfst(self):
+        wc = make_wordcount_model()
+        cg = CallGraph.build(wc.stage_entry, known_types=(wc.tuple2,))
+        result = GlobalClassifier(cg).classify(wc.tuple2)
+        assert result is SizeType.RUNTIME_FIXED
+
+    def test_char_array_is_not_fixed_length(self):
+        wc = make_wordcount_model()
+        cg = CallGraph.build(wc.stage_entry, known_types=(wc.tuple2,))
+        assert not GlobalClassifier(cg).is_fixed_length(wc.char_array)
+
+
+class TestGraphTypes:
+    def test_adjacency_is_vst_in_build_stage(self):
+        gm = make_graph_model()
+        cg = CallGraph.build(gm.build_stage_entry,
+                             known_types=(gm.adjacency,))
+        assert GlobalClassifier(cg).classify(gm.adjacency) \
+            is SizeType.VARIABLE
+
+    def test_adjacency_is_rfst_in_iterate_stage(self):
+        gm = make_graph_model()
+        cg = CallGraph.build(gm.iterate_stage_entry,
+                             known_types=(gm.adjacency,))
+        classifier = GlobalClassifier(
+            cg, assume_init_only=(gm.neighbors_field,))
+        assert classifier.classify(gm.adjacency) is SizeType.RUNTIME_FIXED
+
+    def test_edge_and_message_are_sfst(self):
+        gm = make_graph_model()
+        cg = CallGraph.build(gm.build_stage_entry, known_types=(gm.edge,))
+        classifier = GlobalClassifier(cg)
+        assert classifier.classify(gm.edge) is SizeType.STATIC_FIXED
+        assert classifier.classify(gm.rank_message) is SizeType.STATIC_FIXED
+
+
+class TestInitOnlyRules:
+    def _scope(self, ctor_body, extra_methods=(), cls=None):
+        entry_body = [NewObject("o", cls, ctor=ctor_body)]
+        for method in extra_methods:
+            entry_body.append(Call(None, method, receiver="o"))
+        entry = Method(name="entry", body=tuple(entry_body) + (Return(),))
+        return CallGraph.build(entry, known_types=(cls,))
+
+    def test_final_field_is_init_only(self):
+        arr = ArrayType(DOUBLE)
+        f = Field("data", arr, final=True)
+        cls = ClassType("C", [f])
+        ctor = Method("<init>", body=(), owner=cls, is_constructor=True)
+        cg = self._scope(ctor, cls=cls)
+        assert cg.is_init_only(f)
+
+    def test_element_field_is_never_init_only(self):
+        arr = ArrayType(DOUBLE)
+        cls = ClassType("C", [Field("data", arr, final=True)])
+        ctor = Method("<init>", body=(), owner=cls, is_constructor=True)
+        cg = self._scope(ctor, cls=cls)
+        assert not cg.is_init_only(arr.element_field)
+
+    def test_single_ctor_store_is_init_only(self):
+        arr = ArrayType(DOUBLE)
+        f = Field("data", arr, final=False)
+        cls = ClassType("C", [f])
+        ctor = Method(
+            "<init>", params=("d",),
+            body=(StoreField("this", f, Local("d")),),
+            owner=cls, is_constructor=True)
+        cg = self._scope(ctor, cls=cls)
+        assert cg.is_init_only(f)
+
+    def test_double_ctor_store_is_not_init_only(self):
+        arr = ArrayType(DOUBLE)
+        f = Field("data", arr, final=False)
+        cls = ClassType("C", [f])
+        ctor = Method(
+            "<init>", params=("d",),
+            body=(StoreField("this", f, Local("d")),
+                  StoreField("this", f, Local("d"))),
+            owner=cls, is_constructor=True)
+        cg = self._scope(ctor, cls=cls)
+        assert not cg.is_init_only(f)
+
+    def test_store_in_plain_method_is_not_init_only(self):
+        arr = ArrayType(DOUBLE)
+        f = Field("data", arr, final=False)
+        cls = ClassType("C", [f])
+        ctor = Method("<init>", body=(), owner=cls, is_constructor=True)
+        setter = Method(
+            "setData", params=("d",),
+            body=(StoreField("this", f, Local("d")),),
+            owner=cls)
+        cg = self._scope(ctor, extra_methods=(setter,), cls=cls)
+        assert not cg.is_init_only(f)
+
+    def test_store_in_loop_inside_ctor_is_not_init_only(self):
+        arr = ArrayType(DOUBLE)
+        f = Field("data", arr, final=False)
+        cls = ClassType("C", [f])
+        ctor = Method(
+            "<init>", params=("d",),
+            body=(Loop((StoreField("this", f, Local("d")),)),),
+            owner=cls, is_constructor=True)
+        cg = self._scope(ctor, cls=cls)
+        assert not cg.is_init_only(f)
+
+    def test_delegating_ctor_sequence_counts_both_stores(self):
+        arr = ArrayType(DOUBLE)
+        f = Field("data", arr, final=False)
+        cls = ClassType("C", [f])
+        base_ctor = Method(
+            "<init>", params=("d",),
+            body=(StoreField("this", f, Local("d")),),
+            owner=cls, is_constructor=True)
+        delegating = Method(
+            "<init>2", params=("d",),
+            body=(
+                Call(None, base_ctor, args=(Local("d"),), receiver="this"),
+                StoreField("this", f, Local("d")),
+            ),
+            owner=cls, is_constructor=True)
+        entry = Method(
+            name="entry",
+            body=(NewObject("o", cls, ctor=delegating), Return()))
+        cg = CallGraph.build(entry, known_types=(cls,))
+        assert cg.max_stores_per_constructor_sequence(f) == 2
+        assert not cg.is_init_only(f)
+
+
+class TestRefinementLemmas:
+    def test_rfst_refinement_requires_init_only(self):
+        """Lemma 2: a VST with a non-init-only RFST field stays VST."""
+        arr = ArrayType(DOUBLE)
+        f = Field("buf", arr, final=False)
+        cls = ClassType("Growable", [f])
+        ctor = Method(
+            "<init>", params=("b",),
+            body=(StoreField("this", f, Local("b")),),
+            owner=cls, is_constructor=True)
+        grow = Method(
+            "grow", params=(),
+            body=(
+                NewArray("bigger", arr, SymInput("newsize")),
+                StoreField("this", f, Local("bigger")),
+            ),
+            owner=cls)
+        entry = Method(
+            name="entry",
+            body=(
+                NewArray("b", arr, SymInput("n")),
+                NewObject("o", cls, ctor=ctor, args=(Local("b"),)),
+                Call(None, grow, receiver="o"),
+                Return(),
+            ))
+        cg = CallGraph.build(entry, known_types=(cls,))
+        assert GlobalClassifier(cg).classify(cls) is SizeType.VARIABLE
+
+    def test_sfst_refinement_requires_all_arrays_fixed(self):
+        """Lemma 1: one variable-length array blocks SFST."""
+        arr_fixed = ArrayType(DOUBLE)
+        arr_var = ArrayType(INT)
+        cls = ClassType("Two", [
+            Field("a", arr_fixed, final=True),
+            Field("b", arr_var, final=True),
+        ])
+        ctor = Method(
+            "<init>", params=("a", "b"),
+            body=(StoreField("this", cls.field("a"), Local("a")),
+                  StoreField("this", cls.field("b"), Local("b"))),
+            owner=cls, is_constructor=True)
+        entry = Method(
+            name="entry",
+            body=(
+                Assign("n", SymInput("n")),
+                Loop((
+                    NewArray("x", arr_fixed, Const(16)),
+                    Assign("m", SymInput("m")),
+                    NewArray("y", arr_var, Local("m")),
+                    NewObject("o", cls, ctor=ctor,
+                              args=(Local("x"), Local("y"))),
+                )),
+                Return(),
+            ))
+        cg = CallGraph.build(entry, known_types=(cls,))
+        classifier = GlobalClassifier(cg)
+        assert classifier.is_fixed_length(arr_fixed)
+        assert not classifier.is_fixed_length(arr_var)
+        # b's array varies across instances but is final -> RFST overall.
+        assert classifier.classify(cls) is SizeType.RUNTIME_FIXED
+
+    def test_recursively_defined_never_refines(self):
+        node = ClassType("Node", [Field("v", INT)])
+        node.add_field(Field("next", node))
+        entry = Method(name="entry", body=(Return(),))
+        cg = CallGraph.build(entry, known_types=(node,))
+        assert GlobalClassifier(cg).classify(node) \
+            is SizeType.RECURSIVELY_DEFINED
+
+    def test_assumed_fixed_length_hint(self):
+        arr = ArrayType(DOUBLE)
+        entry = Method(name="entry", body=(Return(),))
+        cg = CallGraph.build(entry)
+        assert not GlobalClassifier(cg).is_fixed_length(arr)
+        hinted = GlobalClassifier(cg, assume_fixed_length=(arr,))
+        assert hinted.is_fixed_length(arr)
+        assert hinted.classify(arr) is SizeType.STATIC_FIXED

@@ -1,0 +1,114 @@
+"""Tests for per-field fixed-length detection (§3.3's "w.r.t. f").
+
+A single array type can be allocated with a global constant for one field
+and data-dependent lengths for another.  The type-level check fails, but
+the paper's definition is per-field: a class whose arrays all reach it
+through the fixed field still refines to SFST.
+"""
+
+import pytest
+
+from repro.analysis import (
+    ArrayType,
+    Assign,
+    CallGraph,
+    ClassType,
+    Const,
+    DOUBLE,
+    Field,
+    GlobalClassifier,
+    Local,
+    Loop,
+    Method,
+    NewArray,
+    NewObject,
+    Return,
+    SizeType,
+    StoreField,
+    SymInput,
+)
+from repro.analysis.udt import DataType
+
+
+def mixed_length_scope():
+    """One shared Array[double] type: fixed length 4 into ``fixed.data``,
+    per-record lengths into ``var.data``."""
+    shared_array = ArrayType(DOUBLE)
+    fixed_field = Field("data", shared_array, final=True)
+    fixed_cls = ClassType("FixedHolder", [fixed_field])
+    fixed_ctor = Method(
+        "<init>", params=("data",),
+        body=(StoreField("this", fixed_field, Local("data")),),
+        owner=fixed_cls, is_constructor=True)
+
+    var_field = Field("data", shared_array, final=True)
+    var_cls = ClassType("VarHolder", [var_field])
+    var_ctor = Method(
+        "<init>", params=("data",),
+        body=(StoreField("this", var_field, Local("data")),),
+        owner=var_cls, is_constructor=True)
+
+    entry = Method(
+        name="entry",
+        body=(
+            Loop((
+                NewArray("a", shared_array, Const(4)),
+                NewObject("f", fixed_cls, ctor=fixed_ctor,
+                          args=(Local("a"),)),
+                Assign("n", SymInput("n")),
+                NewArray("b", shared_array, Local("n")),
+                NewObject("v", var_cls, ctor=var_ctor,
+                          args=(Local("b"),)),
+            )),
+            Return(),
+        ))
+    callgraph = CallGraph.build(entry,
+                                known_types=(fixed_cls, var_cls))
+    return (shared_array, fixed_field, fixed_cls, var_field, var_cls,
+            callgraph)
+
+
+class TestPerFieldFixedLength:
+    def test_type_level_check_fails(self):
+        shared, *_, callgraph = mixed_length_scope()
+        classifier = GlobalClassifier(callgraph)
+        assert not classifier.is_fixed_length(shared)
+
+    def test_field_level_check_distinguishes(self):
+        shared, fixed_field, _, var_field, _, callgraph = \
+            mixed_length_scope()
+        classifier = GlobalClassifier(callgraph)
+        assert classifier.is_fixed_length(shared, field=fixed_field)
+        assert not classifier.is_fixed_length(shared, field=var_field)
+
+    def test_fixed_holder_refines_to_sfst(self):
+        _, _, fixed_cls, _, _, callgraph = mixed_length_scope()
+        classifier = GlobalClassifier(callgraph)
+        assert classifier.classify(fixed_cls) is SizeType.STATIC_FIXED
+
+    def test_var_holder_stays_rfst(self):
+        _, _, _, _, var_cls, callgraph = mixed_length_scope()
+        classifier = GlobalClassifier(callgraph)
+        # Per-instance fixed (final field, array built once) but not
+        # statically sized.
+        assert classifier.classify(var_cls) is SizeType.RUNTIME_FIXED
+
+    def test_field_without_sites_falls_back_to_type(self):
+        shared, fixed_field, *_ , callgraph = mixed_length_scope()
+        classifier = GlobalClassifier(callgraph)
+        orphan = Field("other", shared, final=True)
+        # No allocation flows into `orphan`: fall back to the (failing)
+        # type-level verdict.
+        assert not classifier.is_fixed_length(shared, field=orphan)
+
+
+class TestUdtPredicates:
+    def test_is_primitive_and_is_array(self):
+        from repro.analysis import INT
+        assert INT.is_primitive
+        assert not INT.is_array
+        arr = ArrayType(INT)
+        assert arr.is_array
+        assert not arr.is_primitive
+        cls = ClassType("C", [Field("x", INT)])
+        assert not cls.is_primitive and not cls.is_array

@@ -1,0 +1,208 @@
+"""Tests for symbolized constant propagation (paper Fig. 4)."""
+
+from repro.analysis import (
+    Affine,
+    ArrayType,
+    Assign,
+    BinOp,
+    Const,
+    INT,
+    If,
+    Local,
+    Loop,
+    Method,
+    NewArray,
+    Return,
+    SymInput,
+    SymbolicInterpreter,
+    TOP,
+)
+from repro.analysis.ir import ArrayLength
+
+
+class TestAffineArithmetic:
+    def test_constants_fold(self):
+        assert Affine.constant(2) + Affine.constant(3) == Affine.constant(5)
+
+    def test_symbol_plus_constant(self):
+        a = Affine.symbol("a")
+        assert (a + Affine.constant(1)).offset == 1.0
+        assert (a + Affine.constant(1)).coeffs == (("a", 1.0),)
+
+    def test_figure4_equivalence(self):
+        # b = 2 + a - 1 and c = a + 1 are the same affine value.
+        a = Affine.symbol("a")
+        b = Affine.constant(2) + a - Affine.constant(1)
+        c = a + Affine.constant(1)
+        assert b == c
+
+    def test_symbol_cancellation(self):
+        a = Affine.symbol("a")
+        assert (a - a) == Affine.constant(0)
+
+    def test_scaling(self):
+        a = Affine.symbol("a")
+        doubled = a.scaled(2)
+        assert doubled.coeffs == (("a", 2.0),)
+
+    def test_distinct_symbols_differ(self):
+        assert Affine.symbol("a") != Affine.symbol("b")
+
+
+def run_entry(body, int_array=None):
+    interp = SymbolicInterpreter()
+    method = Method(name="entry", body=tuple(body))
+    facts = interp.run(method)
+    return facts
+
+
+class TestFigure4:
+    def test_both_branches_allocate_same_length(self):
+        arr = ArrayType(INT)
+        facts = run_entry([
+            Assign("a", SymInput("input")),
+            Assign("b", BinOp("+", BinOp("+", Const(2), Local("a")),
+                              Const(-1))),
+            Assign("c", BinOp("+", Local("a"), Const(1))),
+            If(
+                then_body=(NewArray("array", arr, Local("b")),),
+                else_body=(NewArray("array", arr, Local("c")),),
+            ),
+            Return(Local("array")),
+        ])
+        sites = facts.sites_for_type(arr)
+        assert len(sites) == 2
+        assert sites[0].length == sites[1].length
+        assert isinstance(sites[0].length, Affine)
+
+    def test_different_lengths_are_distinguished(self):
+        arr = ArrayType(INT)
+        facts = run_entry([
+            Assign("a", SymInput("input")),
+            If(
+                then_body=(NewArray("x", arr, Local("a")),),
+                else_body=(NewArray("x", arr,
+                                    BinOp("+", Local("a"), Const(1))),),
+            ),
+        ])
+        sites = facts.sites_for_type(arr)
+        assert sites[0].length != sites[1].length
+
+
+class TestLoops:
+    def test_loop_invariant_value_stays_precise(self):
+        arr = ArrayType(INT)
+        facts = run_entry([
+            Assign("d", SymInput("D")),
+            Loop((NewArray("x", arr, Local("d")),)),
+        ])
+        (site,) = facts.sites_for_type(arr)
+        assert site.length == Affine.symbol("D")
+
+    def test_value_read_inside_loop_is_unknown(self):
+        arr = ArrayType(INT)
+        facts = run_entry([
+            Loop((
+                Assign("n", SymInput("per-record")),
+                NewArray("x", arr, Local("n")),
+            )),
+        ])
+        (site,) = facts.sites_for_type(arr)
+        assert site.length is TOP
+
+    def test_variable_mutated_in_loop_widens(self):
+        arr = ArrayType(INT)
+        facts = run_entry([
+            Assign("i", Const(0)),
+            Loop((
+                Assign("i", BinOp("+", Local("i"), Const(1))),
+                NewArray("x", arr, Local("i")),
+            )),
+        ])
+        (site,) = facts.sites_for_type(arr)
+        assert site.length is TOP
+
+
+class TestBranchJoin:
+    def test_disagreeing_assignment_widens(self):
+        arr = ArrayType(INT)
+        facts = run_entry([
+            If(
+                then_body=(Assign("n", Const(4)),),
+                else_body=(Assign("n", Const(8)),),
+            ),
+            NewArray("x", arr, Local("n")),
+        ])
+        (site,) = facts.sites_for_type(arr)
+        assert site.length is TOP
+
+    def test_agreeing_assignment_stays(self):
+        arr = ArrayType(INT)
+        facts = run_entry([
+            Assign("a", SymInput("s")),
+            If(
+                then_body=(Assign("n", BinOp("+", Local("a"), Const(1))),),
+                else_body=(Assign("n", BinOp("-", Local("a"), Const(-1))),),
+            ),
+            NewArray("x", arr, Local("n")),
+        ])
+        (site,) = facts.sites_for_type(arr)
+        assert site.length == Affine.symbol("s") + Affine.constant(1)
+
+    def test_one_sided_assignment_widens(self):
+        arr = ArrayType(INT)
+        facts = run_entry([
+            If(then_body=(Assign("n", Const(4)),)),
+            NewArray("x", arr, Local("n")),
+        ])
+        (site,) = facts.sites_for_type(arr)
+        assert site.length is TOP
+
+
+class TestInterproceduralFlow:
+    def test_length_flows_through_call(self):
+        arr = ArrayType(INT)
+        helper = Method(
+            name="alloc", params=("n",),
+            body=(
+                NewArray("x", arr, Local("n")),
+                Return(Local("x")),
+            ))
+        from repro.analysis.ir import Call
+        facts = run_entry([
+            Assign("d", SymInput("D")),
+            Call("arr1", helper, args=(Local("d"),)),
+            Call("arr2", helper, args=(BinOp("+", Local("d"), Const(0)),)),
+        ])
+        sites = facts.sites_for_type(arr)
+        assert len(sites) == 2
+        assert sites[0].length == sites[1].length == Affine.symbol("D")
+
+    def test_array_length_expression(self):
+        arr = ArrayType(INT)
+        facts = run_entry([
+            Assign("d", SymInput("D")),
+            NewArray("x", arr, Local("d")),
+            NewArray("y", arr, ArrayLength("x")),
+        ])
+        sites = facts.sites_for_type(arr)
+        assert sites[0].length == sites[1].length
+
+    def test_multiplication_by_constant(self):
+        arr = ArrayType(INT)
+        facts = run_entry([
+            Assign("d", SymInput("D")),
+            NewArray("x", arr, BinOp("*", Const(2), Local("d"))),
+            NewArray("y", arr, BinOp("*", Local("d"), Const(2))),
+        ])
+        sites = facts.sites_for_type(arr)
+        assert sites[0].length == sites[1].length
+
+    def test_symbol_times_symbol_is_unknown(self):
+        arr = ArrayType(INT)
+        facts = run_entry([
+            Assign("a", SymInput("a")),
+            NewArray("x", arr, BinOp("*", Local("a"), Local("a"))),
+        ])
+        (site,) = facts.sites_for_type(arr)
+        assert site.length is TOP

@@ -1,0 +1,33 @@
+"""Tests for the ``python -m repro.bench`` command line."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCli:
+    def test_wc_point_runs(self, capsys):
+        assert main(["wc", "--size", "50GB", "--keys", "10M",
+                     "--modes", "deca"]) == 0
+        out = capsys.readouterr().out
+        assert "repro.bench wc" in out
+        assert "deca" in out
+        assert "spark" not in out.replace("spark-ser", "")
+
+    def test_lr_point_runs(self, capsys):
+        assert main(["lr", "--label", "40GB", "--iterations", "2",
+                     "--modes", "spark", "deca"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("40GB") == 2
+
+    def test_unknown_mode_exits(self):
+        with pytest.raises(SystemExit):
+            main(["wc", "--modes", "flink"])
+
+    def test_unknown_label_exits(self):
+        with pytest.raises(SystemExit):
+            main(["lr", "--label", "999GB"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

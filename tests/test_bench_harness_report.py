@@ -1,0 +1,114 @@
+"""Tests for the benchmark harness scaling and the report formatter."""
+
+import os
+
+import pytest
+
+from repro.config import ExecutionMode, GcAlgorithm, MB
+from repro.bench.harness import (
+    FigureRow,
+    GRAPH_SCALES,
+    LR_SIZES,
+    WC_SIZES,
+    lr_config,
+    lr_records_for,
+)
+from repro.bench.report import (
+    format_table,
+    rows_as_table,
+    speedup,
+    write_result,
+)
+
+
+class TestScaling:
+    def test_record_counts_grow_with_labels(self):
+        counts = [lr_records_for(label) for label in
+                  ("40GB", "60GB", "80GB", "100GB", "200GB")]
+        assert counts == sorted(counts)
+        assert counts[0] < counts[-1]
+
+    def test_80gb_lands_near_ninety_percent_occupancy(self):
+        """The load-bearing property: the '80GB' label puts the Spark
+        object cache at ~90 % of the old generation."""
+        records = lr_records_for("80GB")
+        object_bytes = 152  # 10-dim LabeledPoint graph, Fig. 2
+        config = lr_config(ExecutionMode.SPARK)
+        per_executor = records * object_bytes / config.num_executors
+        occupancy = per_executor / config.old_bytes
+        assert 0.85 < occupancy < 0.95
+
+    def test_spill_labels_exceed_the_old_generation(self):
+        for label in ("100GB", "200GB"):
+            records = lr_records_for(label)
+            config = lr_config(ExecutionMode.SPARK)
+            per_executor = records * 152 / config.num_executors
+            assert per_executor > config.old_bytes
+
+    def test_higher_dimensions_mean_fewer_records(self):
+        assert lr_records_for("80GB", dimensions=4096) < \
+            lr_records_for("80GB", dimensions=10)
+
+    def test_wc_sizes_cover_the_grid(self):
+        sizes = {s for s, _ in WC_SIZES}
+        keys = {k for _, k in WC_SIZES}
+        assert sizes == {"50GB", "100GB", "150GB"}
+        assert keys == {"10M", "100M"}
+
+    def test_graph_scales_preserve_order(self):
+        lj, wb, hb = (GRAPH_SCALES[k] for k in ("LJ", "WB", "HB"))
+        assert lj.edges < wb.edges < hb.edges
+        assert lj.vertices < wb.vertices < hb.vertices
+
+    def test_lr_config_overrides(self):
+        config = lr_config(ExecutionMode.DECA,
+                           gc_algorithm=GcAlgorithm.G1)
+        assert config.gc_algorithm is GcAlgorithm.G1
+        assert config.mode is ExecutionMode.DECA
+        assert config.storage_fraction == 0.9  # the §6.2 default
+
+
+class TestFigureRow:
+    def test_gc_fraction(self):
+        row = FigureRow(app="X", label="p", mode="spark", exec_s=2.0,
+                        gc_s=0.5)
+        assert row.gc_fraction == 0.25
+
+    def test_gc_fraction_zero_exec(self):
+        row = FigureRow(app="X", label="p", mode="spark", exec_s=0.0,
+                        gc_s=0.0)
+        assert row.gc_fraction == 0.0
+
+    def test_speedup(self):
+        base = FigureRow(app="X", label="p", mode="spark", exec_s=4.0,
+                         gc_s=0)
+        fast = FigureRow(app="X", label="p", mode="deca", exec_s=1.0,
+                         gc_s=0)
+        assert speedup(base, fast) == 4.0
+
+
+class TestReportFormatting:
+    def test_format_table_aligns_columns(self):
+        table = format_table("T", ["a", "longheader"],
+                             [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[2:]}) == 1
+
+    def test_small_floats_use_scientific(self):
+        table = format_table("T", ["v"], [[0.00037]])
+        assert "3.70e-04" in table
+
+    def test_rows_as_table_contains_modes(self):
+        rows = [FigureRow(app="LR", label="40GB", mode="spark",
+                          exec_s=1.0, gc_s=0.5, cached_mb=2.0)]
+        table = rows_as_table("T", rows)
+        assert "spark" in table and "50.0%" in table
+
+    def test_write_result_creates_artifact(self, tmp_path, monkeypatch):
+        import repro.bench.report as report
+        monkeypatch.setattr(report, "RESULTS_DIR", str(tmp_path))
+        path = write_result("unit-test", "hello")
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert handle.read() == "hello\n"

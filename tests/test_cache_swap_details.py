@@ -1,0 +1,115 @@
+"""Detailed tests for cache swapping and page-info bookkeeping."""
+
+import pytest
+
+from repro.config import DecaConfig, ExecutionMode, MB
+from repro.spark import DecaContext
+from repro.spark.cache import StorageStrategy
+from repro.apps.logistic_regression import labeled_point_udt_info
+
+
+def ctx_with_cached(mode, records=400, heap_mb=32, **overrides):
+    defaults = dict(mode=mode, heap_bytes=heap_mb * MB, num_executors=1,
+                    tasks_per_executor=2)
+    defaults.update(overrides)
+    ctx = DecaContext(DecaConfig(**defaults))
+    data = [(1.0, tuple(float(d) for d in range(10)))
+            for _ in range(records)]
+    rdd = ctx.parallelize(data, 2).map(
+        lambda r: r, udt_info=labeled_point_udt_info(10)).cache()
+    rdd.count()
+    return ctx, rdd, data
+
+
+class TestSwapRoundtrips:
+    @pytest.mark.parametrize("mode", list(ExecutionMode),
+                             ids=lambda m: m.value)
+    def test_swap_out_then_stream_back(self, mode):
+        ctx, rdd, data = ctx_with_cached(mode)
+        store = ctx.executors[0].cache
+        for key in list(store.blocks):
+            store.swap_out(key)
+        assert all(b.on_disk for b in store.blocks.values())
+        assert sorted(rdd.collect()) == sorted(data)
+
+    @pytest.mark.parametrize("mode", list(ExecutionMode),
+                             ids=lambda m: m.value)
+    def test_swap_in_restores_memory_residence(self, mode):
+        ctx, rdd, data = ctx_with_cached(mode)
+        store = ctx.executors[0].cache
+        key = next(iter(store.blocks))
+        store.swap_out(key)
+        block = store.swap_in(key)
+        assert not block.on_disk
+        assert block.memory_bytes > 0
+        assert sorted(rdd.collect()) == sorted(data)
+
+    def test_swap_out_is_idempotent(self):
+        ctx, rdd, _ = ctx_with_cached(ExecutionMode.SPARK)
+        store = ctx.executors[0].cache
+        key = next(iter(store.blocks))
+        released = store.swap_out(key)
+        assert released > 0
+        assert store.swap_out(key) == 0
+
+    def test_swap_frees_heap_space(self):
+        ctx, rdd, _ = ctx_with_cached(ExecutionMode.SPARK)
+        executor = ctx.executors[0]
+        live_before = executor.heap.live_objects
+        for key in list(executor.cache.blocks):
+            executor.cache.swap_out(key)
+        executor.heap.full_gc()
+        assert executor.heap.live_objects < live_before
+
+    def test_deca_swap_writes_raw_pages(self):
+        """No serialization cost when Deca pages hit the disk (App. C)."""
+        ctx, rdd, _ = ctx_with_cached(ExecutionMode.DECA)
+        executor = ctx.executors[0]
+        ser_before = executor.serializer.ser_ms_total
+        for key in list(executor.cache.blocks):
+            executor.cache.swap_out(key)
+        assert executor.serializer.ser_ms_total == ser_before
+
+    def test_spark_swap_serializes(self):
+        ctx, rdd, _ = ctx_with_cached(ExecutionMode.SPARK)
+        executor = ctx.executors[0]
+        ser_before = executor.serializer.ser_ms_total
+        key = next(iter(executor.cache.blocks))
+        executor.cache.swap_out(key)
+        assert executor.serializer.ser_ms_total > ser_before
+
+
+class TestPageInfoCursor:
+    def test_cursor_resets(self):
+        from repro.memory import PageGroup
+        group = PageGroup("g", page_bytes=64)
+        info = group.new_page_info()
+        info.cur_page, info.cur_offset = 3, 40
+        info.reset_cursor()
+        assert (info.cur_page, info.cur_offset) == (0, 0)
+        info.close()
+
+    def test_end_offset_mirrors_group(self):
+        from repro.memory import PageGroup
+        group = PageGroup("g", page_bytes=64)
+        group.append_bytes(b"abc")
+        info = group.new_page_info()
+        assert info.end_offset == 3
+        info.close()
+
+
+class TestUdtInfoCaching:
+    def test_callgraph_built_once(self):
+        info = labeled_point_udt_info(10)
+        assert info.callgraph() is info.callgraph()
+
+    def test_constant_footprint_cached(self):
+        info = labeled_point_udt_info(10)
+        record = (1.0, tuple(float(d) for d in range(10)))
+        assert info.measure(record) is info.measure(record)
+
+    def test_no_entry_method_means_no_callgraph(self):
+        import dataclasses
+        info = dataclasses.replace(labeled_point_udt_info(10),
+                                   entry_method=None, _callgraph=None)
+        assert info.callgraph() is None

@@ -1,0 +1,200 @@
+"""Tests for the Deca core: optimizer plans, decomposition decisions,
+container lifetimes."""
+
+import pytest
+
+from repro.analysis import SizeType
+from repro.analysis.pointsto import ContainerKind
+from repro.config import DecaConfig, ExecutionMode, MB
+from repro.core import (
+    Container,
+    DecompositionKind,
+    LifetimeRegistry,
+    decide_decomposition,
+)
+from repro.core.containers import ValueLifetime, lifetime_rule
+from repro.core.decompose import ContainerView
+from repro.errors import ContainerError
+from repro.spark import DecaContext
+from repro.spark.cache import StorageStrategy
+
+
+def deca_ctx(**overrides):
+    defaults = dict(mode=ExecutionMode.DECA, heap_bytes=32 * MB,
+                    num_executors=2, tasks_per_executor=2)
+    defaults.update(overrides)
+    return DecaContext(DecaConfig(**defaults))
+
+
+class TestOptimizerCachePlans:
+    def test_sfst_dataset_gets_pages(self):
+        from repro.apps.logistic_regression import labeled_point_udt_info
+        ctx = deca_ctx()
+        rdd = ctx.parallelize([(1.0, (1.0,) * 10)], 1).map(
+            lambda r: r, udt_info=labeled_point_udt_info(10))
+        plan = ctx.plan_cache(rdd)
+        assert plan.strategy is StorageStrategy.DECA_PAGES
+        assert plan.schema is not None
+        assert plan.schema.fixed_size is not None  # SFST: static layout
+
+    def test_runtime_symbols_resolve_dimension(self):
+        from repro.apps.logistic_regression import labeled_point_udt_info
+        ctx = deca_ctx()
+        info = labeled_point_udt_info(32)
+        rdd = ctx.parallelize([(1.0, (1.0,) * 32)], 1).map(
+            lambda r: r, udt_info=info)
+        plan = ctx.plan_cache(rdd)
+        # label(8) + 32 doubles + offset/stride/length ints
+        assert plan.schema.fixed_size == 8 + 32 * 8 + 12
+
+    def test_untyped_dataset_stays_objects(self):
+        ctx = deca_ctx()
+        rdd = ctx.parallelize([1, 2, 3], 1).map(lambda x: x)
+        assert ctx.plan_cache(rdd).strategy is StorageStrategy.OBJECTS
+
+    def test_rfst_dataset_gets_variable_layout(self):
+        from repro.apps.wordcount import wordcount_udt_info
+        ctx = deca_ctx()
+        rdd = ctx.parallelize([("a", 1)], 1).map(
+            lambda r: r, udt_info=wordcount_udt_info())
+        plan = ctx.plan_cache(rdd)
+        assert plan.strategy is StorageStrategy.DECA_PAGES
+        assert plan.schema.fixed_size is None  # RFST: per-instance size
+
+    def test_plans_are_memoized(self):
+        from repro.apps.wordcount import wordcount_udt_info
+        ctx = deca_ctx()
+        rdd = ctx.parallelize([("a", 1)], 1).map(
+            lambda r: r, udt_info=wordcount_udt_info())
+        assert ctx.plan_cache(rdd) is ctx.plan_cache(rdd)
+
+    def test_reports_explain_decisions(self):
+        from repro.apps.logistic_regression import labeled_point_udt_info
+        ctx = deca_ctx()
+        rdd = ctx.parallelize([(1.0, (1.0,) * 10)], 1).map(
+            lambda r: r, udt_info=labeled_point_udt_info(10))
+        ctx.plan_cache(rdd)
+        (report,) = ctx._optimizer.reports
+        assert report.decomposed
+        assert report.local_size_type is SizeType.VARIABLE
+        assert report.global_size_type is SizeType.STATIC_FIXED
+
+
+class TestOptimizerShufflePlans:
+    def _wc_dep(self, ctx):
+        from repro.apps.wordcount import wordcount_udt_info
+        pairs = ctx.parallelize(["a"], 1).map(
+            lambda w: (w, 1)).with_udt(wordcount_udt_info())
+        counted = pairs.reduce_by_key(lambda a, b: a + b, 1)
+        return counted.shuffle_dep
+
+    def test_wc_shuffle_is_decomposed_with_reuse(self):
+        ctx = deca_ctx()
+        plan = ctx.plan_shuffle(self._wc_dep(ctx))
+        assert plan.decomposed
+        assert plan.value_segment_reuse  # the Int count is an SFST
+        assert plan.pointer_array        # String key is only an RFST
+
+    def test_untyped_shuffle_keeps_objects(self):
+        ctx = deca_ctx()
+        pairs = ctx.parallelize([("a", 1)], 1).map(lambda r: r)
+        dep = pairs.reduce_by_key(lambda a, b: a + b, 1).shuffle_dep
+        plan = ctx.plan_shuffle(dep)
+        assert not plan.decomposed
+
+    def test_spark_mode_never_decomposes(self):
+        ctx = DecaContext(DecaConfig(mode=ExecutionMode.SPARK,
+                                     heap_bytes=32 * MB))
+        pairs = ctx.parallelize([("a", 1)], 1).map(lambda r: r)
+        dep = pairs.reduce_by_key(lambda a, b: a + b, 1).shuffle_dep
+        assert not ctx.plan_shuffle(dep).decomposed
+
+
+class TestDecompositionDecisions:
+    def view(self, kind, size_type, propagates=False):
+        return ContainerView(kind=kind, size_type=size_type,
+                             propagates_modifications=propagates)
+
+    def test_fully_decomposable(self):
+        decision = decide_decomposition((
+            self.view(ContainerKind.CACHE_BLOCK, SizeType.STATIC_FIXED),
+            self.view(ContainerKind.SHUFFLE_BUFFER,
+                      SizeType.RUNTIME_FIXED),
+        ))
+        assert decision.kind is DecompositionKind.FULL
+
+    def test_partial_groupbykey_then_cache(self):
+        """Fig. 7(b): VST in the buffer, RFST in the cache."""
+        decision = decide_decomposition((
+            self.view(ContainerKind.SHUFFLE_BUFFER, SizeType.VARIABLE),
+            self.view(ContainerKind.CACHE_BLOCK, SizeType.RUNTIME_FIXED),
+        ))
+        assert decision.kind is DecompositionKind.PARTIAL
+        assert decision.decomposed[0].kind is ContainerKind.CACHE_BLOCK
+
+    def test_propagation_blocks_partial(self):
+        decision = decide_decomposition((
+            self.view(ContainerKind.SHUFFLE_BUFFER, SizeType.VARIABLE,
+                      propagates=True),
+            self.view(ContainerKind.CACHE_BLOCK, SizeType.RUNTIME_FIXED),
+        ))
+        assert decision.kind is DecompositionKind.NONE
+
+    def test_udf_only_objects_stay_intact(self):
+        decision = decide_decomposition((
+            self.view(ContainerKind.UDF_VARIABLES, SizeType.STATIC_FIXED),
+        ))
+        assert decision.kind is DecompositionKind.NONE
+
+    def test_vst_everywhere_is_none(self):
+        decision = decide_decomposition((
+            self.view(ContainerKind.CACHE_BLOCK, SizeType.VARIABLE),
+        ))
+        assert decision.kind is DecompositionKind.NONE
+
+
+class TestContainerLifetimes:
+    def test_lifetime_rules(self):
+        assert lifetime_rule(ContainerKind.UDF_VARIABLES) \
+            is ValueLifetime.TASK_END
+        assert lifetime_rule(ContainerKind.CACHE_BLOCK) \
+            is ValueLifetime.UNPERSIST
+        assert lifetime_rule(ContainerKind.SHUFFLE_BUFFER) \
+            is ValueLifetime.BUFFER_RELEASE
+        assert lifetime_rule(ContainerKind.SHUFFLE_BUFFER,
+                             eager_combine=True) \
+            is ValueLifetime.EACH_COMBINE
+
+    def test_registry_tracks_open_close(self):
+        registry = LifetimeRegistry()
+        container = registry.open(ContainerKind.CACHE_BLOCK, "rdd1-b0",
+                                  stage_id=0, now_ms=1.0)
+        registry.close(container, now_ms=5.0)
+        assert container.closed
+        registry.assert_all_closed()
+
+    def test_use_after_close_rejected(self):
+        registry = LifetimeRegistry()
+        container = registry.open(ContainerKind.SHUFFLE_BUFFER, "s0",
+                                  stage_id=0, now_ms=0.0)
+        registry.close(container, now_ms=1.0)
+        with pytest.raises(ContainerError):
+            container.check_open()
+
+    def test_leaked_container_detected(self):
+        registry = LifetimeRegistry()
+        registry.open(ContainerKind.CACHE_BLOCK, "leak", 0, 0.0)
+        with pytest.raises(ContainerError):
+            registry.assert_all_closed()
+
+    def test_double_open_rejected(self):
+        registry = LifetimeRegistry()
+        registry.open(ContainerKind.CACHE_BLOCK, "c", 0, 0.0)
+        with pytest.raises(ContainerError):
+            registry.open(ContainerKind.CACHE_BLOCK, "c", 0, 1.0)
+
+    def test_close_before_open_rejected(self):
+        registry = LifetimeRegistry()
+        container = registry.open(ContainerKind.CACHE_BLOCK, "c", 0, 5.0)
+        with pytest.raises(ContainerError):
+            registry.close(container, now_ms=1.0)

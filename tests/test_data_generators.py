@@ -1,0 +1,147 @@
+"""Tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.data import (
+    GRAPH_PRESETS,
+    clustered_points,
+    graph_preset,
+    labeled_points,
+    power_law_graph,
+    random_words,
+    rankings_table,
+    uservisits_table,
+)
+from repro.errors import DecaError
+
+
+class TestRandomWords:
+    def test_counts_and_cardinality(self):
+        words = random_words(5000, 100)
+        assert len(words) == 5000
+        assert len(set(words)) <= 100
+        # With 5000 draws over 100 keys, all keys should appear.
+        assert len(set(words)) == 100
+
+    def test_deterministic_per_seed(self):
+        assert random_words(100, 10, seed=5) == random_words(100, 10,
+                                                             seed=5)
+        assert random_words(100, 10, seed=5) != random_words(100, 10,
+                                                             seed=6)
+
+    def test_word_lengths_respected(self):
+        for word in set(random_words(500, 50, min_len=6, max_len=8)):
+            assert 6 <= len(word) <= 8
+
+    def test_stable_vocabulary(self):
+        """Every occurrence of a key is the identical string."""
+        words = random_words(2000, 10)
+        by_prefix = {}
+        for word in words:
+            by_prefix.setdefault(word, word)
+        assert len(by_prefix) <= 10
+
+    def test_invalid_args(self):
+        with pytest.raises(DecaError):
+            random_words(-1, 10)
+        with pytest.raises(DecaError):
+            random_words(10, 0)
+        with pytest.raises(DecaError):
+            random_words(10, 5, min_len=5, max_len=3)
+
+
+class TestVectors:
+    def test_labeled_points_shape(self):
+        points = labeled_points(200, dimensions=7)
+        assert len(points) == 200
+        assert all(label in (0.0, 1.0) for label, _ in points)
+        assert all(len(features) == 7 for _, features in points)
+
+    def test_labels_are_separable_on_average(self):
+        points = labeled_points(2000, dimensions=4)
+        pos = [f[0] for label, f in points if label == 1.0]
+        neg = [f[0] for label, f in points if label == 0.0]
+        assert sum(pos) / len(pos) > 0.5
+        assert sum(neg) / len(neg) < -0.5
+
+    def test_clustered_points_shape(self):
+        points = clustered_points(300, dimensions=5, clusters=3)
+        assert len(points) == 300
+        assert all(len(p) == 5 for p in points)
+
+    def test_invalid_args(self):
+        with pytest.raises(DecaError):
+            labeled_points(-1)
+        with pytest.raises(DecaError):
+            clustered_points(10, dimensions=0)
+
+
+class TestGraphs:
+    def test_edge_count(self):
+        edges = power_law_graph(100, 500)
+        assert len(edges) == 500
+
+    def test_every_vertex_has_out_edge(self):
+        edges = power_law_graph(200, 800)
+        sources = {src for src, _ in edges}
+        assert sources == set(range(200))
+
+    def test_no_self_loops(self):
+        assert all(src != dst for src, dst in power_law_graph(100, 400))
+
+    def test_degree_distribution_is_heavy_tailed(self):
+        edges = power_law_graph(1000, 10_000)
+        in_degree: dict[int, int] = {}
+        for _, dst in edges:
+            in_degree[dst] = in_degree.get(dst, 0) + 1
+        degrees = sorted(in_degree.values(), reverse=True)
+        mean = sum(degrees) / len(degrees)
+        # The hottest vertex should be far above the mean.
+        assert degrees[0] > 5 * mean
+
+    def test_presets_match_table2_ratios(self):
+        for name in ("LiveJournal", "WebBase", "HiBench", "Pokec"):
+            vertices, edge_count = GRAPH_PRESETS[name]
+            edges = graph_preset(name)
+            assert len(edges) == edge_count
+            assert max(max(s, d) for s, d in edges) < vertices
+
+    def test_unknown_preset(self):
+        with pytest.raises(DecaError):
+            graph_preset("Twitter")
+
+    def test_invalid_args(self):
+        with pytest.raises(DecaError):
+            power_law_graph(1, 10)
+        with pytest.raises(DecaError):
+            power_law_graph(10, 5)
+
+
+class TestTables:
+    def test_rankings_schema_shape(self):
+        rows = rankings_table(100)
+        assert len(rows) == 100
+        for url, rank, duration in rows:
+            assert url.startswith("url")
+            assert rank >= 0
+            assert 1 <= duration <= 60
+
+    def test_rankings_filter_selectivity(self):
+        """pageRank > 100 keeps a small but non-empty slice (Query 1)."""
+        rows = rankings_table(5000)
+        selected = [r for r in rows if r[1] > 100]
+        assert 0 < len(selected) < len(rows) * 0.5
+
+    def test_uservisits_prefix_cardinality(self):
+        rows = uservisits_table(3000, ip_prefixes=200)
+        prefixes = {r[0][:5] for r in rows}
+        assert 10 < len(prefixes) <= 200
+
+    def test_uservisits_schema_arity(self):
+        (row,) = uservisits_table(1)
+        assert len(row) == 9
+        assert isinstance(row[3], float)
+
+    def test_determinism(self):
+        assert rankings_table(50) == rankings_table(50)
+        assert uservisits_table(50) == uservisits_table(50)

@@ -1,0 +1,85 @@
+"""Tests for repro.jvm.sizing — JVM object-layout arithmetic."""
+
+import pytest
+
+from repro.errors import TypeGraphError
+from repro.jvm import sizing
+
+
+class TestAlign:
+    def test_already_aligned(self):
+        assert sizing.align(16) == 16
+
+    def test_rounds_up(self):
+        assert sizing.align(17) == 24
+        assert sizing.align(1) == 8
+
+    def test_zero(self):
+        assert sizing.align(0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(TypeGraphError):
+            sizing.align(-8)
+
+
+class TestPrimitiveBytes:
+    @pytest.mark.parametrize("name,size", [
+        ("boolean", 1), ("byte", 1), ("char", 2), ("short", 2),
+        ("int", 4), ("float", 4), ("long", 8), ("double", 8),
+    ])
+    def test_known_primitives(self, name, size):
+        assert sizing.primitive_bytes(name) == size
+
+    def test_unknown_primitive(self):
+        with pytest.raises(TypeGraphError):
+            sizing.primitive_bytes("string")
+
+
+class TestObjectBytes:
+    def test_empty_object_is_header_aligned(self):
+        # 12-byte header padded to 16.
+        assert sizing.object_bytes(0, 0) == 16
+
+    def test_labeled_point_shape(self):
+        # LabeledPoint: one double + one reference = 12 + 8 + 4 = 24.
+        assert sizing.object_bytes(1, 8) == 24
+
+    def test_dense_vector_shape(self):
+        # DenseVector: one reference + three ints = 12 + 4 + 12 = 28 -> 32.
+        assert sizing.object_bytes(1, 12) == 32
+
+    def test_rejects_negative(self):
+        with pytest.raises(TypeGraphError):
+            sizing.object_bytes(-1, 0)
+
+
+class TestArrayBytes:
+    def test_double_array(self):
+        # 16-byte header + 10 doubles = 96.
+        assert sizing.array_bytes(8, 10) == 96
+
+    def test_empty_array_is_just_header(self):
+        assert sizing.array_bytes(8, 0) == 16
+
+    def test_reference_array(self):
+        assert sizing.array_bytes(sizing.REFERENCE_BYTES, 3) == \
+            sizing.align(16 + 12)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(TypeGraphError):
+            sizing.array_bytes(8, -1)
+
+    def test_rejects_zero_element(self):
+        with pytest.raises(TypeGraphError):
+            sizing.array_bytes(0, 4)
+
+
+class TestBoxedBytes:
+    def test_boxed_double_costs_header(self):
+        # java.lang.Double: 12-byte header + 8 bytes -> 24; the raw double
+        # is 8 — a 3x bloat, which is what Deca's PR speedup exploits.
+        assert sizing.boxed_bytes("double") == 24
+        assert sizing.boxed_bytes("double") > sizing.primitive_bytes("double")
+
+    def test_boxed_int(self):
+        assert sizing.boxed_bytes("int") == 16

@@ -1,0 +1,167 @@
+"""Tests for repro.memory.layout — byte-layout schemas."""
+
+import pytest
+
+from repro.analysis import (
+    ArrayType,
+    BOOLEAN,
+    CHAR,
+    ClassType,
+    DOUBLE,
+    Field,
+    INT,
+    LONG,
+    SizeType,
+)
+from repro.errors import MemoryLayoutError
+from repro.memory import (
+    FixedArraySchema,
+    PrimitiveSlot,
+    RecordSchema,
+    VarArraySchema,
+    build_schema,
+)
+from repro.memory.layout import reorder_fields_fixed_first
+
+
+class TestPrimitiveSlot:
+    @pytest.mark.parametrize("prim,value", [
+        (DOUBLE, 3.25), (INT, -7), (LONG, 2**40), (BOOLEAN, True),
+        (CHAR, ord("x")),
+    ])
+    def test_roundtrip(self, prim, value):
+        slot = PrimitiveSlot(prim)
+        assert slot.unpack(slot.pack(value)) == value
+
+    def test_sizes_match_jvm(self):
+        assert PrimitiveSlot(DOUBLE).fixed_size == 8
+        assert PrimitiveSlot(INT).fixed_size == 4
+        assert PrimitiveSlot(CHAR).fixed_size == 2
+
+
+class TestRecordSchema:
+    def make_point(self):
+        return RecordSchema("Point", [
+            ("x", PrimitiveSlot(DOUBLE)),
+            ("y", PrimitiveSlot(DOUBLE)),
+            ("id", PrimitiveSlot(INT)),
+        ])
+
+    def test_fixed_size_is_sum(self):
+        assert self.make_point().fixed_size == 20
+
+    def test_static_offsets(self):
+        schema = self.make_point()
+        assert schema.field_offsets == (0, 8, 16)
+
+    def test_roundtrip(self):
+        schema = self.make_point()
+        value = (1.5, -2.5, 42)
+        assert schema.unpack(schema.pack(value)) == value
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(MemoryLayoutError):
+            self.make_point().pack((1.0, 2.0))
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(MemoryLayoutError):
+            RecordSchema("Empty", [])
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(MemoryLayoutError):
+            RecordSchema("Dup", [("x", PrimitiveSlot(INT)),
+                                 ("x", PrimitiveSlot(INT))])
+
+    def test_variable_record(self):
+        schema = RecordSchema("S", [
+            ("chars", VarArraySchema(PrimitiveSlot(CHAR))),
+            ("count", PrimitiveSlot(INT)),
+        ])
+        assert schema.fixed_size is None
+        value = ((104, 105), 7)
+        packed = schema.pack(value)
+        assert schema.unpack(packed) == value
+        # offset of count is dynamic (after the var array).
+        assert schema.field_offsets == (0, None)
+        assert schema.field_offset(packed, 0, 1) == 4 + 2 * 2
+
+
+class TestArraySchemas:
+    def test_fixed_array_roundtrip(self):
+        schema = FixedArraySchema(PrimitiveSlot(DOUBLE), 4)
+        assert schema.fixed_size == 32
+        value = (1.0, 2.0, 3.0, 4.0)
+        assert schema.unpack(schema.pack(value)) == value
+
+    def test_fixed_array_length_mismatch(self):
+        schema = FixedArraySchema(PrimitiveSlot(DOUBLE), 4)
+        with pytest.raises(MemoryLayoutError):
+            schema.pack((1.0,))
+
+    def test_var_array_roundtrip(self):
+        schema = VarArraySchema(PrimitiveSlot(LONG))
+        for value in [(), (5,), tuple(range(100))]:
+            assert schema.unpack(schema.pack(value)) == value
+
+    def test_var_array_size_of(self):
+        schema = VarArraySchema(PrimitiveSlot(LONG))
+        assert schema.size_of((1, 2, 3)) == 4 + 24
+
+    def test_var_array_needs_fixed_elements(self):
+        with pytest.raises(MemoryLayoutError):
+            VarArraySchema(VarArraySchema(PrimitiveSlot(INT)))
+
+    def test_nested_record_elements(self):
+        point = RecordSchema("P", [("x", PrimitiveSlot(INT))])
+        schema = VarArraySchema(point)
+        value = ((1,), (2,), (3,))
+        assert schema.unpack(schema.pack(value)) == value
+
+
+class TestBuildSchema:
+    def test_vst_is_rejected(self):
+        holder = ClassType("H", [
+            Field("buf", ArrayType(DOUBLE), final=False)])
+        with pytest.raises(MemoryLayoutError):
+            build_schema(holder, SizeType.VARIABLE)
+
+    def test_recursive_type_is_rejected(self):
+        node = ClassType("Node", [Field("v", INT)])
+        node.add_field(Field("next", node))
+        with pytest.raises(MemoryLayoutError):
+            build_schema(node, SizeType.RUNTIME_FIXED)
+
+    def test_polymorphic_field_is_rejected(self):
+        a = ClassType("A", [Field("x", INT)])
+        b = ClassType("B", [Field("y", DOUBLE)])
+        holder = ClassType("H", [Field("v", a, type_set=(a, b), final=True)])
+        with pytest.raises(MemoryLayoutError):
+            build_schema(holder, SizeType.RUNTIME_FIXED)
+
+    def test_sfst_with_fixed_length_hint(self):
+        arr = ArrayType(DOUBLE)
+        holder = ClassType("H", [Field("data", arr, final=True),
+                                 Field("n", INT)])
+        schema = build_schema(holder, SizeType.STATIC_FIXED,
+                              fixed_lengths={id(arr): 3})
+        assert schema.fixed_size == 3 * 8 + 4
+
+    def test_rfst_without_hint_gets_length_prefix(self):
+        arr = ArrayType(DOUBLE)
+        holder = ClassType("H", [Field("data", arr, final=True)])
+        schema = build_schema(holder, SizeType.RUNTIME_FIXED)
+        assert schema.fixed_size is None
+        value = ((1.0, 2.0),)
+        assert schema.size_of(value) == 4 + 16
+
+
+class TestFieldReordering:
+    def test_fixed_fields_move_first(self):
+        schema = RecordSchema("S", [
+            ("chars", VarArraySchema(PrimitiveSlot(CHAR))),
+            ("count", PrimitiveSlot(INT)),
+        ])
+        reordered = reorder_fields_fixed_first(schema)
+        assert [n for n, _ in reordered.fields] == ["count", "chars"]
+        # count now has a static offset.
+        assert reordered.field_offsets[0] == 0

@@ -1,0 +1,133 @@
+"""Property-based tests: the classification algorithms on random UDTs.
+
+Invariants checked on randomly generated (acyclic) type graphs:
+
+* the refinement direction: the global classifier never reports a type as
+  *more* variable than the local one (Algorithm 2 only refines downward);
+* monotonicity: adding a VST field to a class never makes it less
+  variable;
+* SFST/RFST verdicts always admit a byte layout, VST verdicts never do;
+* recursion is always detected.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    ArrayType,
+    CallGraph,
+    ClassType,
+    DOUBLE,
+    Field,
+    GlobalClassifier,
+    INT,
+    LONG,
+    Method,
+    Return,
+    SizeType,
+    classify_locally,
+)
+from repro.analysis.size_type import variability_rank
+from repro.errors import MemoryLayoutError
+from repro.memory.layout import build_schema
+
+_PRIMS = (INT, LONG, DOUBLE)
+
+
+@st.composite
+def random_udt(draw, depth=0):
+    """A random acyclic UDT."""
+    if depth >= 3:
+        return draw(st.sampled_from(_PRIMS))
+    kind = draw(st.sampled_from(
+        ["prim", "prim", "array", "class", "class"]))
+    if kind == "prim":
+        return draw(st.sampled_from(_PRIMS))
+    if kind == "array":
+        element = draw(random_udt(depth=depth + 1))
+        return ArrayType(element)
+    field_count = draw(st.integers(1, 3))
+    fields = []
+    for index in range(field_count):
+        ftype = draw(random_udt(depth=depth + 1))
+        final = draw(st.booleans())
+        fields.append(Field(f"f{index}", ftype, final=final))
+    return ClassType(f"C{draw(st.integers(0, 10 ** 6))}", fields)
+
+
+def empty_scope() -> GlobalClassifier:
+    entry = Method(name="entry", body=(Return(),))
+    return GlobalClassifier(CallGraph.build(entry))
+
+
+@given(random_udt())
+@settings(max_examples=150)
+def test_global_never_coarsens_local(udt):
+    local = classify_locally(udt)
+    if local is SizeType.RECURSIVELY_DEFINED:
+        return
+    refined = empty_scope().classify(udt)
+    assert variability_rank(refined) <= variability_rank(local)
+
+
+@given(random_udt())
+@settings(max_examples=150)
+def test_classification_is_deterministic(udt):
+    assert classify_locally(udt) is classify_locally(udt)
+
+
+@given(random_udt())
+@settings(max_examples=150)
+def test_adding_vst_field_never_reduces_variability(udt):
+    if not isinstance(udt, ClassType):
+        return
+    before = classify_locally(udt)
+    if before is SizeType.RECURSIVELY_DEFINED:
+        return
+    vst_field = Field("growable", ArrayType(DOUBLE), final=False)
+    widened = ClassType(udt.name + "_w", list(udt.fields) + [vst_field])
+    after = classify_locally(widened)
+    assert variability_rank(after) >= variability_rank(before)
+    assert after is SizeType.VARIABLE
+
+
+@given(random_udt())
+@settings(max_examples=150)
+def test_decomposable_verdicts_admit_layouts(udt):
+    """SFST/RFST ⇒ build_schema succeeds; VST ⇒ it refuses."""
+    local = classify_locally(udt)
+    if local is SizeType.RECURSIVELY_DEFINED:
+        return
+    if isinstance(udt, ClassType) and not udt.fields:
+        return
+    if local.decomposable:
+        schema = build_schema(udt, local)
+        assert schema is not None
+    else:
+        try:
+            build_schema(udt, local)
+        except MemoryLayoutError:
+            pass
+        else:
+            raise AssertionError("VST must not be laid out")
+
+
+@given(random_udt(), st.integers(0, 2))
+@settings(max_examples=100)
+def test_recursion_always_detected(udt, hook_index):
+    """Closing any class in the graph into a cycle flips the verdict."""
+    if not isinstance(udt, ClassType):
+        return
+    udt.add_field(Field("self_link", udt))
+    assert classify_locally(udt) is SizeType.RECURSIVELY_DEFINED
+
+
+@given(random_udt())
+@settings(max_examples=100)
+def test_sfst_layouts_have_static_size(udt):
+    local = classify_locally(udt)
+    if local is not SizeType.STATIC_FIXED:
+        return
+    if isinstance(udt, ClassType) and not udt.fields:
+        return
+    schema = build_schema(udt, local)
+    assert schema.fixed_size is not None

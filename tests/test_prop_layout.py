@@ -1,0 +1,131 @@
+"""Property-based tests: byte layouts and SUDT accessors.
+
+The core safety property of the whole system (§3.1): packing records into
+byte segments and reading them back must be lossless, for any record shape
+the classifier admits, and in-place writes must never disturb neighbours.
+"""
+
+import struct
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.udt import (
+    BOOLEAN,
+    CHAR,
+    DOUBLE,
+    INT,
+    LONG,
+    PrimitiveType,
+    SHORT,
+)
+from repro.memory.layout import (
+    FixedArraySchema,
+    PrimitiveSlot,
+    RecordSchema,
+    VarArraySchema,
+)
+from repro.memory.page import PageGroup
+from repro.memory.sudt import synthesize_sudt
+
+_PRIMS = {
+    "boolean": (BOOLEAN, st.booleans()),
+    "short": (SHORT, st.integers(-2**15, 2**15 - 1)),
+    "int": (INT, st.integers(-2**31, 2**31 - 1)),
+    "long": (LONG, st.integers(-2**63, 2**63 - 1)),
+    "double": (DOUBLE, st.floats(allow_nan=False, width=64)),
+    "char": (CHAR, st.integers(0, 2**16 - 1)),
+}
+
+
+@st.composite
+def schema_and_value(draw, max_fields=5):
+    """A random record schema together with a matching value.
+
+    The first field is always a primitive so the record never has zero
+    size (which :class:`RecordSchema` rejects).
+    """
+    field_count = draw(st.integers(1, max_fields))
+    fields = []
+    values = []
+    for index in range(field_count):
+        kind = ("prim" if index == 0 else draw(
+            st.sampled_from(["prim", "fixed-array", "var-array"])))
+        prim_name = draw(st.sampled_from(sorted(_PRIMS)))
+        prim, value_strategy = _PRIMS[prim_name]
+        if kind == "prim":
+            fields.append((f"f{index}", PrimitiveSlot(prim)))
+            values.append(draw(value_strategy))
+        elif kind == "fixed-array":
+            length = draw(st.integers(0, 6))
+            fields.append((f"f{index}",
+                           FixedArraySchema(PrimitiveSlot(prim), length)))
+            values.append(tuple(draw(value_strategy)
+                                for _ in range(length)))
+        else:
+            length = draw(st.integers(0, 6))
+            fields.append((f"f{index}",
+                           VarArraySchema(PrimitiveSlot(prim))))
+            values.append(tuple(draw(value_strategy)
+                                for _ in range(length)))
+    return RecordSchema("R", fields), tuple(values)
+
+
+@given(schema_and_value())
+@settings(max_examples=200)
+def test_pack_unpack_roundtrip(case):
+    schema, value = case
+    packed = schema.pack(value)
+    assert len(packed) == schema.size_of(value)
+    assert schema.unpack(packed) == value
+
+
+@given(st.lists(schema_and_value(max_fields=3), min_size=1, max_size=1),
+       st.integers(2, 40))
+@settings(max_examples=50)
+def test_page_group_scan_matches_appends(case, count):
+    """Appending N records and scanning returns them in order."""
+    (schema, value), = case
+    group = PageGroup("g", page_bytes=64)
+    for _ in range(count):
+        group.append_record(schema, value)
+    records = list(group.records(schema))
+    assert records == [value] * count
+    assert group.used_bytes == schema.size_of(value) * count
+
+
+@given(schema_and_value(), st.data())
+@settings(max_examples=100)
+def test_accessor_reads_match_unpack(case, data):
+    schema, value = case
+    buf = bytearray(schema.size_of(value))
+    schema.pack_into(buf, 0, value)
+    Sudt = synthesize_sudt(schema)
+    accessor = Sudt(buf, 0)
+    for (name, field_schema), expected in zip(schema.fields, value):
+        got = getattr(accessor, name)
+        if isinstance(field_schema, PrimitiveSlot):
+            assert got == expected
+        else:
+            assert tuple(got) == tuple(expected)
+    assert accessor.data_size() == schema.size_of(value)
+
+
+@given(schema_and_value())
+@settings(max_examples=100)
+def test_neighbouring_records_are_isolated(case):
+    """Writing through an accessor never disturbs adjacent records."""
+    schema, value = case
+    size = schema.size_of(value)
+    buf = bytearray(3 * size)
+    for slot in range(3):
+        schema.pack_into(buf, slot * size, value)
+    Sudt = synthesize_sudt(schema)
+    middle = Sudt(buf, size)
+    # Overwrite every primitive field of the middle record with zeros.
+    for name, field_schema in schema.fields:
+        if isinstance(field_schema, PrimitiveSlot):
+            setattr(middle, name, type(getattr(middle, name))(0))
+    left, _ = schema.unpack_from(buf, 0)
+    right, _ = schema.unpack_from(buf, 2 * size)
+    assert left == value
+    assert right == value

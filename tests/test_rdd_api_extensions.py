@@ -1,0 +1,94 @@
+"""Tests for the extended RDD API surface."""
+
+import pytest
+
+from repro.config import DecaConfig, ExecutionMode, MB
+from repro.errors import ExecutionError
+from repro.spark import DecaContext
+
+
+def make_ctx(**overrides):
+    defaults = dict(heap_bytes=32 * MB, num_executors=2,
+                    tasks_per_executor=2)
+    defaults.update(overrides)
+    return DecaContext(DecaConfig(**defaults))
+
+
+class TestKeyValueHelpers:
+    def test_keys_values(self):
+        ctx = make_ctx()
+        pairs = ctx.parallelize([(1, "a"), (2, "b")], 2)
+        assert sorted(pairs.keys().collect()) == [1, 2]
+        assert sorted(pairs.values().collect()) == ["a", "b"]
+
+    def test_count_by_key(self):
+        ctx = make_ctx()
+        pairs = ctx.parallelize([("x", 1), ("y", 2), ("x", 3)], 2)
+        assert pairs.count_by_key() == {"x": 2, "y": 1}
+
+
+class TestNumericActions:
+    def test_sum(self):
+        ctx = make_ctx()
+        assert ctx.parallelize(range(101), 4).sum() == 5050
+
+    def test_min_max(self):
+        ctx = make_ctx()
+        rdd = ctx.parallelize([5, -3, 17, 0], 3)
+        assert rdd.max() == 17
+        assert rdd.min() == -3
+
+    def test_first(self):
+        ctx = make_ctx()
+        assert ctx.parallelize([42, 1], 1).first() == 42
+
+    def test_first_empty_raises(self):
+        ctx = make_ctx()
+        with pytest.raises(ExecutionError):
+            ctx.parallelize([], 1).first()
+
+
+class TestSample:
+    def test_fraction_bounds(self):
+        ctx = make_ctx()
+        with pytest.raises(ExecutionError):
+            ctx.parallelize([1], 1).sample(1.5)
+
+    def test_sample_is_deterministic(self):
+        ctx = make_ctx()
+        rdd = ctx.parallelize(range(500), 4)
+        a = sorted(rdd.sample(0.25, seed=3).collect())
+        b = sorted(rdd.sample(0.25, seed=3).collect())
+        assert a == b
+
+    def test_sample_size_is_plausible(self):
+        ctx = make_ctx()
+        out = ctx.parallelize(range(2000), 4).sample(0.5).collect()
+        assert 800 < len(out) < 1200
+
+    def test_sample_extremes(self):
+        ctx = make_ctx()
+        rdd = ctx.parallelize(range(50), 2)
+        assert rdd.sample(0.0).collect() == []
+        assert sorted(rdd.sample(1.0).collect()) == list(range(50))
+
+
+class TestZipWithIndex:
+    def test_indices_are_a_permutation(self):
+        ctx = make_ctx()
+        zipped = ctx.parallelize(list("abcdefg"), 3).zip_with_index() \
+            .collect()
+        indices = sorted(index for _, index in zipped)
+        assert indices == list(range(7))
+
+    def test_indices_follow_partition_order(self):
+        ctx = make_ctx()
+        zipped = dict(ctx.parallelize([10, 20, 30, 40], 2)
+                      .zip_with_index().collect())
+        assert zipped[10] < zipped[20]  # within partition 0
+        assert zipped[30] < zipped[40]  # within partition 1
+
+    def test_works_under_deca(self):
+        ctx = make_ctx(mode=ExecutionMode.DECA)
+        zipped = ctx.parallelize([1, 2, 3], 2).zip_with_index().collect()
+        assert len(zipped) == 3

@@ -1,0 +1,207 @@
+"""Unit tests for the shuffle subsystem internals."""
+
+import pytest
+
+from repro.config import DecaConfig, ExecutionMode, MB
+from repro.errors import ShuffleError
+from repro.spark import DecaContext
+from repro.spark.shuffle import (
+    MapOutputBlock,
+    MapSideWriter,
+    ShuffleBlockStore,
+    ShuffleKind,
+    ShufflePlan,
+    read_reduce_partition,
+)
+
+
+def executor(**overrides):
+    defaults = dict(heap_bytes=32 * MB, num_executors=2,
+                    tasks_per_executor=2)
+    defaults.update(overrides)
+    return DecaContext(DecaConfig(**defaults)).executors[0]
+
+
+class TestBlockStore:
+    def test_register_and_fetch(self):
+        store = ShuffleBlockStore()
+        block = MapOutputBlock(records=[(1, 2)], nbytes=10, objects=1,
+                               executor_id=0, decomposed=False)
+        store.register(7, 0, 3, block)
+        store.set_map_parts(7, 1)
+        assert store.fetch(7, 0, 3) is block
+        assert store.fetch(7, 0, 4) is None
+        assert store.map_parts(7) == 1
+
+    def test_unknown_shuffle_raises(self):
+        with pytest.raises(ShuffleError):
+            ShuffleBlockStore().map_parts(99)
+
+    def test_remove_shuffle(self):
+        store = ShuffleBlockStore()
+        store.set_map_parts(7, 1)
+        store.register(7, 0, 0, MapOutputBlock([], 0, 0, 0, False))
+        store.remove_shuffle(7)
+        assert store.fetch(7, 0, 0) is None
+        with pytest.raises(ShuffleError):
+            store.map_parts(7)
+
+
+class TestMapSideWriter:
+    def make_writer(self, kind=ShuffleKind.COMBINE, plan=None, exe=None,
+                    num_reduce=2):
+        exe = exe or executor()
+        return exe, MapSideWriter(
+            exe, shuffle_id=0, map_part=0, num_reduce=num_reduce,
+            partitioner=lambda k: k, kind=kind,
+            merge_value=(lambda a, b: a + b)
+            if kind is ShuffleKind.COMBINE else None,
+            plan=plan or ShufflePlan())
+
+    def test_combine_requires_merge(self):
+        exe = executor()
+        with pytest.raises(ShuffleError):
+            MapSideWriter(exe, 0, 0, 2, lambda k: k,
+                          ShuffleKind.COMBINE)
+
+    def test_eager_combining_merges_per_key(self):
+        exe, writer = self.make_writer()
+        writer.write_all([(1, 10), (1, 5), (2, 7), (1, 1)])
+        store = ShuffleBlockStore()
+        writer.flush(store)
+        store.set_map_parts(0, 1)
+        block_odd = store.fetch(0, 0, 1)
+        assert dict(block_odd.records) == {1: 16}
+        block_even = store.fetch(0, 0, 0)
+        assert dict(block_even.records) == {2: 7}
+
+    def test_sort_kind_sorts_output(self):
+        exe, writer = self.make_writer(kind=ShuffleKind.SORT,
+                                       num_reduce=1)
+        writer.write_all([(3, "c"), (1, "a"), (2, "b")])
+        store = ShuffleBlockStore()
+        writer.flush(store)
+        assert store.fetch(0, 0, 0).records == \
+            [(1, "a"), (2, "b"), (3, "c")]
+
+    def test_buffer_freed_on_flush(self):
+        exe, writer = self.make_writer()
+        writer.write_all([(k, 1) for k in range(100)])
+        assert writer._buffer_group.live_bytes > 0
+        writer.flush(ShuffleBlockStore())
+        assert writer._buffer_group.freed
+
+    def test_spill_on_tiny_budget(self):
+        exe = executor(heap_bytes=2 * MB, shuffle_fraction=0.001,
+                       storage_fraction=0.1)
+        _, writer = self.make_writer(kind=ShuffleKind.GROUP, exe=exe)
+        writer.write_all([(k, "x" * 50) for k in range(2000)])
+        assert writer.spilled_bytes > 0
+
+    def test_decomposed_plan_uses_page_objects(self):
+        exe = executor()
+        plan = ShufflePlan(decomposed=True)
+        _, writer = self.make_writer(plan=plan, exe=exe)
+        writer.write_all([(k, 1) for k in range(500)])
+        # One page object per config.page_bytes of data, not per entry.
+        assert writer._buffer_group.live_objects < 10
+
+    def test_segment_reuse_skips_temp_alloc(self):
+        exe_a = executor()
+        plan = ShufflePlan(decomposed=True, value_segment_reuse=True)
+        _, writer = self.make_writer(plan=plan, exe=exe_a)
+        writer.write_all([(1, v) for v in range(1000)])
+        reuse_temp = exe_a.heap.live_objects
+
+        exe_b = executor()
+        _, writer_b = self.make_writer(exe=exe_b)
+        writer_b.write_all([(1, v) for v in range(1000)])
+        alloc_temp = exe_b.heap.live_objects
+        assert reuse_temp < alloc_temp
+
+
+class TestReduceRead:
+    def test_reader_concatenates_map_outputs(self):
+        exe = executor()
+        store = ShuffleBlockStore()
+        store.set_map_parts(5, 2)
+        store.register(5, 0, 0, MapOutputBlock(
+            [(1, "a")], nbytes=16, objects=1, executor_id=0,
+            decomposed=False))
+        store.register(5, 1, 0, MapOutputBlock(
+            [(2, "b")], nbytes=16, objects=1,
+            executor_id=1, decomposed=False))
+        records = list(read_reduce_partition(exe, store, 5, 0))
+        assert sorted(records) == [(1, "a"), (2, "b")]
+
+    def test_remote_block_costs_network(self):
+        exe = executor()
+        store = ShuffleBlockStore()
+        store.set_map_parts(5, 1)
+        store.register(5, 0, 0, MapOutputBlock(
+            [(1, "a")], nbytes=1000, objects=1,
+            executor_id=exe.executor_id + 1, decomposed=False))
+        list(read_reduce_partition(exe, store, 5, 0))
+        assert exe.network_ms_total > 0
+
+    def test_local_block_skips_network(self):
+        exe = executor()
+        store = ShuffleBlockStore()
+        store.set_map_parts(5, 1)
+        store.register(5, 0, 0, MapOutputBlock(
+            [(1, "a")], nbytes=1000, objects=1,
+            executor_id=exe.executor_id, decomposed=False))
+        list(read_reduce_partition(exe, store, 5, 0))
+        assert exe.network_ms_total == 0
+
+    def test_decomposed_blocks_skip_deserialization(self):
+        exe = executor()
+        store = ShuffleBlockStore()
+        store.set_map_parts(5, 1)
+        store.register(5, 0, 0, MapOutputBlock(
+            [(i, i) for i in range(1000)], nbytes=8000, objects=1000,
+            executor_id=exe.executor_id, decomposed=True))
+        list(read_reduce_partition(exe, store, 5, 0))
+        assert exe.serializer.deser_ms_total == 0.0
+
+
+class TestSpillMerge:
+    def test_spilled_writers_charge_merge_reads(self):
+        """Appendix C: spilled runs are merged at read time."""
+        exe_writer = executor(heap_bytes=2 * MB, shuffle_fraction=0.001,
+                              storage_fraction=0.1)
+        writer = MapSideWriter(
+            exe_writer, shuffle_id=0, map_part=0, num_reduce=1,
+            partitioner=lambda k: 0, kind=ShuffleKind.GROUP)
+        writer.write_all([(k, "x" * 50) for k in range(2000)])
+        assert writer.spilled_bytes > 0
+        store = ShuffleBlockStore()
+        store.set_map_parts(0, 1)
+        writer.flush(store)
+        block = store.fetch(0, 0, 0)
+        assert block.merge_penalty_bytes > 0
+
+        reader = executor()
+        disk_before = reader.disk_ms_total
+        list(read_reduce_partition(reader, store, 0, 0))
+        plain_store = ShuffleBlockStore()
+        plain_store.set_map_parts(0, 1)
+        plain_store.register(0, 0, 0, MapOutputBlock(
+            records=block.records, nbytes=block.nbytes,
+            objects=block.objects, executor_id=block.executor_id,
+            decomposed=False))
+        reader_b = executor()
+        list(read_reduce_partition(reader_b, plain_store, 0, 0))
+        spilled_cost = reader.disk_ms_total - disk_before
+        assert spilled_cost > reader_b.disk_ms_total
+
+    def test_unspilled_blocks_have_no_penalty(self):
+        exe = executor()
+        writer = MapSideWriter(
+            exe, shuffle_id=1, map_part=0, num_reduce=1,
+            partitioner=lambda k: 0, kind=ShuffleKind.COMBINE,
+            merge_value=lambda a, b: a + b)
+        writer.write_all([(1, 1), (2, 2)])
+        store = ShuffleBlockStore()
+        writer.flush(store)
+        assert store.fetch(1, 0, 0).merge_penalty_bytes == 0

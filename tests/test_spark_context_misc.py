@@ -1,0 +1,154 @@
+"""Tests for context-level plumbing: hashing, planning dispatch,
+transformed-stage detection, run metrics and the simulated clock."""
+
+import pytest
+
+from repro.config import DecaConfig, ExecutionMode, MB
+from repro.errors import DecaError
+from repro.simtime import SimClock
+from repro.spark import DecaContext
+from repro.spark.cache import StorageStrategy
+from repro.spark.context import stable_hash
+from repro.apps.logistic_regression import labeled_point_udt_info
+
+
+def make_ctx(mode=ExecutionMode.SPARK, **overrides):
+    defaults = dict(mode=mode, heap_bytes=32 * MB, num_executors=2,
+                    tasks_per_executor=2)
+    defaults.update(overrides)
+    return DecaContext(DecaConfig(**defaults))
+
+
+class TestSimClock:
+    def test_monotone(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        clock.advance(0.0)
+        assert clock.now_ms == 5.0
+
+    def test_rejects_negative_advance(self):
+        with pytest.raises(DecaError):
+            SimClock().advance(-1.0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(DecaError):
+            SimClock(start_ms=-1.0)
+
+    def test_advance_to_never_goes_back(self):
+        clock = SimClock(start_ms=10.0)
+        clock.advance_to(5.0)
+        assert clock.now_ms == 10.0
+        clock.advance_to(20.0)
+        assert clock.now_ms == 20.0
+
+
+class TestStableHash:
+    def test_deterministic_across_types(self):
+        for key in (0, 1, -5, 3.5, "word", b"bytes", (1, "a"), True):
+            assert stable_hash(key) == stable_hash(key)
+            assert stable_hash(key) >= 0
+
+    def test_strings_are_process_independent(self):
+        # crc32("spark") is a fixed constant — no PYTHONHASHSEED effects.
+        assert stable_hash("spark") == 2635321133
+
+    def test_tuples_differ_by_order(self):
+        assert stable_hash((1, 2)) != stable_hash((2, 1))
+
+    def test_spread_over_partitions(self):
+        buckets = {stable_hash(f"key{i}") % 8 for i in range(1000)}
+        assert len(buckets) == 8
+
+
+class TestPlanDispatch:
+    def test_spark_mode_has_no_optimizer(self):
+        ctx = make_ctx(ExecutionMode.SPARK)
+        assert ctx._optimizer is None
+
+    def test_deca_mode_builds_optimizer(self):
+        ctx = make_ctx(ExecutionMode.DECA)
+        assert ctx._optimizer is not None
+
+    def test_sparkser_plans_serialized_even_untyped(self):
+        ctx = make_ctx(ExecutionMode.SPARK_SER)
+        rdd = ctx.parallelize([1], 1).map(lambda x: x)
+        plan = ctx.plan_cache(rdd)
+        assert plan.strategy is StorageStrategy.SERIALIZED
+        assert plan.schema is None  # falls back to cost-only model
+
+    def test_shuffle_plan_measure_uses_parent(self):
+        ctx = make_ctx(ExecutionMode.SPARK)
+        parent = ctx.parallelize([("a", 1)], 1).map(lambda r: r)
+        dep = parent.reduce_by_key(lambda a, b: a, 1).shuffle_dep
+        plan = ctx.plan_shuffle(dep)
+        assert plan.measure == parent.measure_record
+
+
+class TestTransformedStageDetection:
+    def test_map_over_decomposed_cache_is_transformed(self):
+        ctx = make_ctx(ExecutionMode.DECA)
+        info = labeled_point_udt_info(4)
+        cached = ctx.parallelize([(1.0, (1.0,) * 4)], 1).map(
+            lambda r: r, udt_info=info).cache()
+        downstream = cached.map(lambda r: r)
+        assert ctx._is_deca_transformed(downstream)
+
+    def test_map_over_object_cache_is_not(self):
+        ctx = make_ctx(ExecutionMode.DECA)
+        cached = ctx.parallelize([1], 1).map(lambda x: x).cache()
+        downstream = cached.map(lambda x: x)
+        assert not ctx._is_deca_transformed(downstream)
+
+    def test_spark_mode_never_transforms(self):
+        ctx = make_ctx(ExecutionMode.SPARK)
+        cached = ctx.parallelize([1], 1).map(lambda x: x).cache()
+        assert not ctx._is_deca_transformed(cached.map(lambda x: x))
+
+    def test_uncached_chain_is_not_transformed(self):
+        ctx = make_ctx(ExecutionMode.DECA)
+        rdd = ctx.parallelize([1], 1).map(lambda x: x).map(lambda x: x)
+        assert not ctx._is_deca_transformed(rdd)
+
+
+class TestRunMetrics:
+    def test_finish_collects_executor_stats(self):
+        ctx = make_ctx()
+        rdd = ctx.parallelize(range(2000), 4).map(
+            lambda x: (x % 5, x)).reduce_by_key(lambda a, b: a + b, 4)
+        rdd.collect()
+        run = ctx.finish()
+        assert set(run.executor_gc_ms) == {0, 1}
+        assert run.wall_ms == ctx.wall_ms
+        assert len(run.jobs) == 1
+
+    def test_gc_fraction_bounds(self):
+        ctx = make_ctx()
+        ctx.parallelize(range(100), 2).count()
+        run = ctx.finish()
+        assert 0.0 <= run.gc_fraction <= 1.0
+
+    def test_cached_bytes_reported_per_rdd(self):
+        ctx = make_ctx()
+        rdd = ctx.parallelize(range(500), 2).map(lambda x: x).cache()
+        rdd.count()
+        run = ctx.finish()
+        assert run.cached_bytes.get(rdd.rdd_id, 0) > 0
+        assert run.total_cached_bytes == sum(run.cached_bytes.values())
+
+    def test_empty_run(self):
+        ctx = make_ctx()
+        run = ctx.finish()
+        assert run.jobs == []
+        assert run.gc_pause_ms == 0.0
+
+
+class TestTextFile:
+    def test_read_cost_charged(self):
+        ctx = make_ctx()
+        lines = ["x" * 1000] * 200
+        ctx.text_file(lines, 2).count()
+        assert ctx.wall_ms > 0
+
+    def test_empty_text_file(self):
+        ctx = make_ctx()
+        assert ctx.text_file([], 2).count() == 0

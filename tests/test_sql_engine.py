@@ -1,0 +1,159 @@
+"""Tests for the mini columnar SQL engine (the Table 6 baseline)."""
+
+import pytest
+
+from repro.config import DecaConfig, MB
+from repro.data import rankings_table, uservisits_table
+from repro.errors import SchemaError, SqlError
+from repro.sql import (
+    Column,
+    ColumnType,
+    ColumnarTable,
+    SqlEngine,
+    TableSchema,
+    groupby_sum,
+    select,
+)
+from repro.sql.schema import RANKINGS_SCHEMA, USERVISITS_SCHEMA
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", ColumnType.INT),
+                              Column("a", ColumnType.INT)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_row_validation(self):
+        schema = TableSchema("t", [Column("a", ColumnType.INT),
+                                   Column("s", ColumnType.STRING)])
+        schema.validate_row((1, "x"))
+        with pytest.raises(SchemaError):
+            schema.validate_row((1,))
+        with pytest.raises(SchemaError):
+            schema.validate_row(("no", "x"))
+        with pytest.raises(SchemaError):
+            schema.validate_row((1, 2))
+
+    def test_unknown_column(self):
+        with pytest.raises(SchemaError):
+            RANKINGS_SCHEMA.column_index("nope")
+
+
+class TestColumnarTable:
+    def test_roundtrip_rows(self):
+        rows = rankings_table(50)
+        table = ColumnarTable(RANKINGS_SCHEMA, rows)
+        assert table.row_count == 50
+        for i in (0, 17, 49):
+            assert table.row(i) == rows[i]
+
+    def test_string_prefix_access(self):
+        rows = uservisits_table(20)
+        table = ColumnarTable(USERVISITS_SCHEMA, rows)
+        col = table.column("sourceIP")
+        assert col.get_prefix(3, 5) == rows[3][0][:5]
+
+    def test_memory_is_column_not_object_sized(self):
+        """A columnar table is far smaller than row objects."""
+        from repro.spark.measure import measure_generic
+        rows = rankings_table(500)
+        table = ColumnarTable(RANKINGS_SCHEMA, rows)
+        object_bytes = sum(measure_generic(r).object_bytes for r in rows)
+        assert table.memory_bytes < 0.6 * object_bytes
+
+    def test_heap_registration_is_tiny(self):
+        cfg = DecaConfig(heap_bytes=64 * MB)
+        from repro.simtime import SimClock
+        from repro.jvm import SimHeap
+        heap = SimHeap(cfg, SimClock())
+        ColumnarTable(RANKINGS_SCHEMA, rankings_table(1000), heap=heap)
+        assert heap.live_objects == 2 * len(RANKINGS_SCHEMA.columns)
+
+    def test_release_frees_heap(self):
+        cfg = DecaConfig(heap_bytes=64 * MB)
+        from repro.simtime import SimClock
+        from repro.jvm import SimHeap
+        heap = SimHeap(cfg, SimClock())
+        table = ColumnarTable(RANKINGS_SCHEMA, rankings_table(100),
+                              heap=heap)
+        table.release()
+        heap.full_gc()
+        assert heap.live_objects == 0
+
+    def test_out_of_range_row(self):
+        table = ColumnarTable(RANKINGS_SCHEMA, rankings_table(5))
+        with pytest.raises(SchemaError):
+            table.row(5)
+
+
+class TestQueries:
+    def make_engine(self, rankings=200, visits=300):
+        engine = SqlEngine(DecaConfig(heap_bytes=64 * MB))
+        engine.register_table("rankings", RANKINGS_SCHEMA,
+                              rankings_table(rankings))
+        engine.register_table("uservisits", USERVISITS_SCHEMA,
+                              uservisits_table(visits))
+        return engine
+
+    def test_query1_matches_python(self):
+        engine = self.make_engine()
+        rows = rankings_table(200)
+        result = engine.run(select(["pageURL", "pageRank"], "rankings",
+                                   where=("pageRank", ">", 100)))
+        expected = sorted((r[0], r[1]) for r in rows if r[1] > 100)
+        assert sorted(result.rows) == expected
+
+    def test_query2_matches_python(self):
+        engine = self.make_engine()
+        rows = uservisits_table(300)
+        result = engine.run(groupby_sum("uservisits", "sourceIP",
+                                        "adRevenue", key_prefix=5))
+        expected: dict[str, float] = {}
+        for r in rows:
+            expected[r[0][:5]] = expected.get(r[0][:5], 0.0) + r[3]
+        assert len(result.rows) == len(expected)
+        for key, total in result.rows:
+            assert abs(total - expected[key]) < 1e-6
+
+    def test_projection_without_filter(self):
+        engine = self.make_engine(rankings=10)
+        result = engine.run(select(["pageURL"], "rankings"))
+        assert len(result.rows) == 10
+
+    def test_gc_time_is_negligible(self):
+        """Table 6: Spark SQL's GC time is near zero."""
+        engine = self.make_engine(visits=2000)
+        result = engine.run(groupby_sum("uservisits", "sourceIP",
+                                        "adRevenue", key_prefix=5))
+        assert result.gc_pause_ms < 0.1 * max(result.wall_ms, 1e-9) + 50
+
+    def test_unknown_table_raises(self):
+        engine = self.make_engine()
+        with pytest.raises(SqlError):
+            engine.run(select(["x"], "nope"))
+
+    def test_double_registration_rejected(self):
+        engine = self.make_engine()
+        with pytest.raises(SqlError):
+            engine.register_table("rankings", RANKINGS_SCHEMA, [])
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(SqlError):
+            select(["a"], "t", where=("a", "~", 1))
+
+    def test_substr_on_numeric_rejected(self):
+        engine = self.make_engine()
+        with pytest.raises(SqlError):
+            engine.run(groupby_sum("rankings", "pageRank", "avgDuration",
+                                   key_prefix=3))
+
+    def test_uncache_releases(self):
+        engine = self.make_engine()
+        engine.cache_table("rankings")
+        assert engine.cached_bytes > 0
+        engine.uncache_table("rankings")
+        assert engine.cached_bytes == 0

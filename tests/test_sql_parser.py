@@ -1,0 +1,164 @@
+"""Tests for the §6.6 SQL dialect parser."""
+
+import pytest
+
+from repro.data import rankings_table, uservisits_table
+from repro.errors import SqlError
+from repro.sql import SqlEngine, parse
+from repro.sql.engine import Aggregation, Filter
+from repro.sql.schema import RANKINGS_SCHEMA, USERVISITS_SCHEMA
+
+
+class TestParseScan:
+    def test_query1_verbatim(self):
+        query = parse("SELECT pageURL, pageRank FROM rankings "
+                      "WHERE pageRank > 100;")
+        assert query.table == "rankings"
+        assert query.projection == ("pageURL", "pageRank")
+        assert query.where == Filter("pageRank", ">", 100)
+        assert query.aggregation is None
+
+    def test_no_where(self):
+        query = parse("SELECT a FROM t")
+        assert query.where is None
+        assert query.projection == ("a",)
+
+    def test_case_insensitive_keywords(self):
+        query = parse("select a from t where a >= 3")
+        assert query.where == Filter("a", ">=", 3)
+
+    @pytest.mark.parametrize("op", [">", ">=", "<", "<=", "=", "!="])
+    def test_all_operators(self, op):
+        query = parse(f"SELECT a FROM t WHERE a {op} 1")
+        assert query.where.op == op
+
+    def test_string_literal(self):
+        query = parse("SELECT a FROM t WHERE name = 'dk'")
+        assert query.where.literal == "dk"
+
+    def test_float_literal(self):
+        query = parse("SELECT a FROM t WHERE x > 1.5")
+        assert query.where.literal == 1.5
+
+    def test_negative_literal(self):
+        query = parse("SELECT a FROM t WHERE x < -3")
+        assert query.where.literal == -3
+
+
+class TestParseAggregate:
+    def test_query2_verbatim(self):
+        query = parse(
+            "SELECT SUBSTR(sourceIP, 1, 5), SUM(adRevenue)\n"
+            "FROM uservisits\n"
+            "GROUP BY SUBSTR(sourceIP, 1, 5);")
+        assert query.table == "uservisits"
+        assert query.aggregation == Aggregation("sourceIP", "adRevenue", 5)
+
+    def test_group_by_whole_column(self):
+        query = parse("SELECT countryCode, SUM(adRevenue) "
+                      "FROM uservisits GROUP BY countryCode")
+        assert query.aggregation == Aggregation("countryCode",
+                                                "adRevenue", None)
+
+    def test_key_mismatch_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT destURL, SUM(adRevenue) FROM uservisits "
+                  "GROUP BY sourceIP")
+
+    def test_unsupported_aggregate_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a, STDDEV(b) FROM t GROUP BY a")
+
+    def test_where_with_group_by_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a, SUM(b) FROM t WHERE a > 1 GROUP BY a")
+
+    def test_three_column_aggregate_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a, SUM(b), SUM(c) FROM t GROUP BY a")
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("bad", [
+        "DELETE FROM t",
+        "SELECT FROM t",
+        "SELECT a FROM t WHERE a LIKE 'x%'",
+        "SELECT a + 1 FROM t",
+        "SELECT a FROM t GROUP BY a + 1",
+        "",
+    ])
+    def test_out_of_dialect(self, bad):
+        with pytest.raises(SqlError):
+            parse(bad)
+
+
+class TestEndToEndSql:
+    def test_engine_sql_matches_structured_api(self):
+        engine = SqlEngine()
+        rows = rankings_table(300)
+        engine.register_table("rankings", RANKINGS_SCHEMA, rows)
+        via_sql = engine.sql("SELECT pageURL, pageRank FROM rankings "
+                             "WHERE pageRank > 100;")
+        expected = sorted((r[0], r[1]) for r in rows if r[1] > 100)
+        assert sorted(via_sql.rows) == expected
+
+    def test_engine_sql_aggregate(self):
+        engine = SqlEngine()
+        rows = uservisits_table(400)
+        engine.register_table("uservisits", USERVISITS_SCHEMA, rows)
+        result = engine.sql(
+            "SELECT SUBSTR(sourceIP, 1, 5), SUM(adRevenue) "
+            "FROM uservisits GROUP BY SUBSTR(sourceIP, 1, 5)")
+        totals = {}
+        for r in rows:
+            totals[r[0][:5]] = totals.get(r[0][:5], 0.0) + r[3]
+        assert len(result.rows) == len(totals)
+
+
+class TestExtendedAggregates:
+    def make_engine(self):
+        engine = SqlEngine()
+        engine.register_table("uservisits", USERVISITS_SCHEMA,
+                              uservisits_table(300))
+        return engine, uservisits_table(300)
+
+    @pytest.mark.parametrize("func", ["SUM", "COUNT", "AVG", "MIN", "MAX"])
+    def test_functions_parse(self, func):
+        query = parse(f"SELECT countryCode, {func}(adRevenue) "
+                      "FROM uservisits GROUP BY countryCode")
+        assert query.aggregation.func == func
+
+    def test_count_totals_rows(self):
+        engine, rows = self.make_engine()
+        result = engine.sql("SELECT countryCode, COUNT(adRevenue) "
+                            "FROM uservisits GROUP BY countryCode")
+        assert sum(n for _, n in result.rows) == len(rows)
+
+    def test_avg_matches_python(self):
+        engine, rows = self.make_engine()
+        result = engine.sql("SELECT countryCode, AVG(adRevenue) "
+                            "FROM uservisits GROUP BY countryCode")
+        groups = {}
+        for r in rows:
+            groups.setdefault(r[5], []).append(r[3])
+        for key, mean in result.rows:
+            expected = sum(groups[key]) / len(groups[key])
+            assert abs(mean - expected) < 1e-9
+
+    def test_min_max_bound_sum(self):
+        engine, _ = self.make_engine()
+        low = dict(engine.sql("SELECT countryCode, MIN(adRevenue) "
+                              "FROM uservisits GROUP BY countryCode").rows)
+        high = dict(engine.sql("SELECT countryCode, MAX(adRevenue) "
+                               "FROM uservisits GROUP BY countryCode").rows)
+        for key in low:
+            assert low[key] <= high[key]
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a, MEDIAN(b) FROM t GROUP BY a")
+
+    def test_aggregation_dataclass_validates_func(self):
+        from repro.sql.engine import Aggregation
+        with pytest.raises(SqlError):
+            Aggregation("k", "v", func="MEDIAN")
