@@ -12,7 +12,6 @@ import dataclasses
 from repro.config import ExecutionMode
 from repro.bench.harness import run_lr_point
 from repro.bench.report import format_table, write_result
-from repro.apps.logistic_regression import labeled_point_udt_info
 
 
 def test_ablation_classification(once):

@@ -8,7 +8,7 @@ waste (bigger last pages → more unused tail before trimming kicks in,
 plus coarser eviction units).
 """
 
-from repro.config import ExecutionMode, MB
+from repro.config import ExecutionMode
 from repro.bench.harness import run_lr_point
 from repro.bench.report import format_table, write_result
 

@@ -11,7 +11,7 @@
 from repro.config import ExecutionMode
 from repro.bench.harness import WC_SIZES, run_wc_point
 from repro.bench.report import ascii_timeline, format_table, \
-    rows_as_table, write_result
+    rows_as_json, rows_as_table, write_json_result, write_result
 
 
 def test_fig8a_wc_lifetime(once):
@@ -73,6 +73,7 @@ def test_fig8b_wc_exec(once):
                           include_cache=False)
     print(table)
     write_result("fig8b_wc_exec", table)
+    write_json_result("BENCH_fig8b_wc_exec", rows_as_json(rows))
 
     by_point = {}
     for row in rows:

@@ -11,7 +11,7 @@ Run:  python examples/quickstart.py
 
 from repro.config import DecaConfig, ExecutionMode, MB
 from repro.data import random_words
-from repro.spark import DecaContext, UdtInfo
+from repro.spark import DecaContext
 from repro.apps.wordcount import wordcount_udt_info
 
 

@@ -8,6 +8,7 @@ exploring regimes interactively::
     python -m repro.bench pr --graph HB
     python -m repro.bench kmeans --label 100GB
     python -m repro.bench cc --graph WB
+    python -m repro.bench faults --kill-prob 0.1 --json fault_smoke
 
 Each run prints one row per execution mode (Spark / SparkSer / Deca).
 """
@@ -18,16 +19,19 @@ import argparse
 import sys
 
 from ..config import ExecutionMode
+from ..errors import StageAbortError
 from .harness import (
     GRAPH_SCALES,
     LR_SIZES,
     WC_SIZES,
+    fault_recovery_faults,
+    run_fault_recovery_point,
     run_graph_point,
     run_kmeans_point,
     run_lr_point,
     run_wc_point,
 )
-from .report import rows_as_table
+from .report import rows_as_json, rows_as_table, write_json_result
 
 
 def _modes(names: list[str] | None) -> list[ExecutionMode]:
@@ -74,6 +78,21 @@ def main(argv: list[str] | None = None) -> int:
                            choices=sorted(GRAPH_SCALES))
         graph.add_argument("--iterations", type=int, default=3)
 
+    ft = sub.add_parser("faults", parents=[common],
+                        help="WordCount under fault injection")
+    ft.add_argument("--size", default="50GB",
+                    choices=sorted({s for s, _ in WC_SIZES}))
+    ft.add_argument("--keys", default="10M",
+                    choices=sorted({k for _, k in WC_SIZES}))
+    ft.add_argument("--seed", type=int, default=17)
+    ft.add_argument("--kill-prob", type=float, default=0.05)
+    ft.add_argument("--corrupt-prob", type=float, default=0.0)
+    ft.add_argument("--no-crash", action="store_true",
+                    help="skip the scripted executor crash")
+    ft.add_argument("--speculation", action="store_true")
+    ft.add_argument("--json", metavar="NAME",
+                    help="also write benchmarks/results/<NAME>.json")
+
     args = parser.parse_args(argv)
     modes = _modes(args.modes)
 
@@ -87,11 +106,35 @@ def main(argv: list[str] | None = None) -> int:
                                          iterations=args.iterations))
         elif args.app == "wc":
             rows.append(run_wc_point(args.size, args.keys, mode))
+        elif args.app == "faults":
+            faults = fault_recovery_faults(
+                seed=args.seed, task_kill_prob=args.kill_prob,
+                fetch_corruption_prob=args.corrupt_prob,
+                executor_crash=not args.no_crash,
+                speculation=args.speculation)
+            try:
+                rows.append(run_fault_recovery_point(
+                    args.size, args.keys, mode, faults=faults))
+            except StageAbortError as exc:
+                raise SystemExit(
+                    f"[{mode.value}] job failed permanently: {exc}")
         else:
             rows.append(run_graph_point(args.app.upper(), args.graph,
                                         mode,
                                         iterations=args.iterations))
     print(rows_as_table(f"repro.bench {args.app}", rows))
+    if args.app == "faults":
+        for row in rows:
+            recovery = row.extra["recovery"]
+            print(f"[{row.mode}] correct={row.extra['correct']} "
+                  f"overhead={row.extra['recovery_overhead_s']:.3f}s "
+                  f"failures={recovery['task_failures']} "
+                  f"retries={recovery['task_retries']} "
+                  f"lost={recovery['executors_lost']} "
+                  f"recomputed={recovery['recomputed_partitions']}")
+        if args.json:
+            path = write_json_result(args.json, rows_as_json(rows))
+            print(f"wrote {path}")
     return 0
 
 

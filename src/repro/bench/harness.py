@@ -21,7 +21,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..config import DecaConfig, ExecutionMode, GcAlgorithm, MB
+from ..config import (
+    DecaConfig,
+    ExecutionMode,
+    FaultConfig,
+    GcAlgorithm,
+    MB,
+    ScriptedFault,
+)
 from ..data import (
     clustered_points,
     labeled_points,
@@ -263,3 +270,65 @@ def run_pr_tuning_point(storage_fraction: float,
         storage_fraction=storage_fraction,
         shuffle_fraction=round(1.0 - storage_fraction, 2),
         gc_algorithm=algorithm)
+
+
+# ---------------------------------------------------------------------------
+# Fault-recovery points (fault-tolerance benchmark)
+# ---------------------------------------------------------------------------
+
+def fault_recovery_faults(seed: int = 17,
+                          task_kill_prob: float = 0.05,
+                          fetch_corruption_prob: float = 0.0,
+                          executor_crash: bool = True,
+                          speculation: bool = False) -> FaultConfig:
+    """The standard fault plan of the recovery benchmark.
+
+    Probabilistic task kills plus (optionally) one scripted executor crash
+    in the first job's result stage — the crash lands *after* the map
+    outputs exist, so recovery must regenerate the lost lineage, not just
+    retry the killed task.
+    """
+    scripted = ()
+    if executor_crash:
+        scripted = (ScriptedFault("executor-crash", stage_id=1,
+                                  partition=0, attempt=0, after_ops=3),)
+    return FaultConfig(seed=seed, task_kill_prob=task_kill_prob,
+                       fetch_corruption_prob=fetch_corruption_prob,
+                       scripted=scripted, speculation=speculation)
+
+
+def run_fault_recovery_point(size_label: str = "50GB",
+                             keys_label: str = "10M",
+                             mode: ExecutionMode = ExecutionMode.SPARK,
+                             faults: FaultConfig | None = None,
+                             **config_overrides: Any) -> FigureRow:
+    """WordCount under fault injection, next to its fault-free baseline.
+
+    Runs the same point twice — clean, then with the injector armed —
+    checks the faulted run still produces the baseline's exact counts,
+    and reports the recovery costs.  ``extra`` carries the full metrics
+    trajectory (``RunMetrics.to_dict()``) for the JSON artifact.
+    """
+    if faults is None:
+        faults = fault_recovery_faults()
+    baseline = run_wc_point(size_label, keys_label, mode,
+                            **config_overrides)
+    faulted = run_wc_point(size_label, keys_label, mode, faults=faults,
+                           **config_overrides)
+    base_run: AppRun = baseline.extra["run"]
+    fault_run: AppRun = faulted.extra["run"]
+    recovery = fault_run.metrics.recovery
+    row = FigureRow(
+        app="WC-FT", label=f"{size_label}/{keys_label}", mode=mode.value,
+        exec_s=faulted.exec_s, gc_s=faulted.gc_s,
+        cached_mb=faulted.cached_mb, swapped_mb=faulted.swapped_mb,
+        full_gcs=faulted.full_gcs, minor_gcs=faulted.minor_gcs,
+        extra={
+            "correct": base_run.result == fault_run.result,
+            "baseline_exec_s": baseline.exec_s,
+            "recovery_overhead_s": faulted.exec_s - baseline.exec_s,
+            "recovery": recovery.to_dict(),
+            "trajectory": fault_run.metrics.to_dict(),
+        })
+    row.extra["run"] = fault_run
+    return row

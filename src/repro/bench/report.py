@@ -7,6 +7,7 @@ reviewable artifact (EXPERIMENTS.md links there).
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Iterable, Sequence
 
@@ -62,11 +63,50 @@ def rows_as_table(title: str, rows: Sequence[FigureRow],
 
 def write_result(name: str, content: str) -> str:
     """Persist *content* under benchmarks/results/<name>.txt."""
-    os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(content + "\n")
     return path
+
+
+def write_json_result(name: str, payload: object) -> str:
+    """Persist *payload* under benchmarks/results/<name>.json.
+
+    The machine-readable companion of :func:`write_result`: keys are
+    sorted and floats come straight from the simulated clocks, so a
+    benchmark run with fixed seeds writes byte-identical files — the
+    trajectory artifacts CI uploads and diffs.
+    """
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def rows_as_json(rows: Sequence[FigureRow]) -> list[dict]:
+    """FigureRows as JSON-ready dicts (non-serializable extras dropped)."""
+    payload = []
+    for row in rows:
+        extra = {key: value for key, value in row.extra.items()
+                 if isinstance(value, (str, int, float, bool, type(None),
+                                       list, dict))}
+        payload.append({
+            "app": row.app,
+            "label": row.label,
+            "mode": row.mode,
+            "exec_s": round(row.exec_s, 6),
+            "gc_s": round(row.gc_s, 6),
+            "gc_fraction": round(row.gc_fraction, 6),
+            "cached_mb": round(row.cached_mb, 6),
+            "swapped_mb": round(row.swapped_mb, 6),
+            "full_gcs": row.full_gcs,
+            "minor_gcs": row.minor_gcs,
+            "extra": extra,
+        })
+    return payload
 
 
 def ascii_timeline(title: str, series: dict[str, list[tuple[float, float]]],

@@ -133,6 +133,105 @@ class CpuCosts:
 
 
 @dataclass(frozen=True)
+class ScriptedFault:
+    """One deterministic failure at an exact execution point.
+
+    *kind* selects the failure mode:
+
+    * ``"task-kill"`` — the attempt matching ``(stage_id, partition,
+      attempt)`` dies (after ``after_ops`` compute charges, so partial
+      task state exists and must be cleaned up);
+    * ``"executor-crash"`` — the executor running that attempt crashes,
+      losing its cache blocks and shuffle outputs;
+    * ``"fetch-corrupt"`` — the read of shuffle block ``(shuffle_id,
+      map_part, reduce_part)`` returns corrupt bytes, forcing the map
+      output to be regenerated.
+
+    ``stage_id`` / ``partition`` of ``-1`` act as wildcards, as do the
+    ``-1`` defaults of the fetch coordinates.
+    """
+
+    kind: str
+    stage_id: int = -1
+    partition: int = -1
+    attempt: int = 0
+    after_ops: int = 0
+    shuffle_id: int = -1
+    map_part: int = -1
+    reduce_part: int = -1
+
+    KINDS = ("task-kill", "executor-crash", "fetch-corrupt")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ConfigError(
+                f"unknown scripted fault kind {self.kind!r}; "
+                f"choose from {self.KINDS}")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Failure-injection and recovery policy (the mini-Spark analogue of
+    ``spark.task.maxFailures`` / ``spark.speculation`` plus a test-only
+    fault injector).
+
+    All probabilities are evaluated on a dedicated seeded RNG, so two runs
+    with the same seed inject byte-identical failure sequences.  Backoff
+    waits advance the *simulated* clock — never wall time.
+    """
+
+    # --- injection ---------------------------------------------------------
+    seed: int = 17
+    task_kill_prob: float = 0.0
+    executor_crash_prob: float = 0.0
+    fetch_corruption_prob: float = 0.0
+    scripted: tuple[ScriptedFault, ...] = ()
+    # Probabilistic kills strike after 1..max_kill_ops compute charges so
+    # partially-executed tasks leave state the recovery must clean up.
+    max_kill_ops: int = 32
+
+    # --- retry policy ------------------------------------------------------
+    max_task_failures: int = 4
+    retry_backoff_ms: float = 50.0
+    retry_backoff_factor: float = 2.0
+    retry_backoff_max_ms: float = 1000.0
+
+    # --- executor recovery -------------------------------------------------
+    executor_restart_ms: float = 500.0
+
+    # --- speculation -------------------------------------------------------
+    speculation: bool = False
+    speculation_multiplier: float = 1.5
+
+    def __post_init__(self) -> None:
+        for name in ("task_kill_prob", "executor_crash_prob",
+                     "fetch_corruption_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1]: {value}")
+        if self.max_task_failures < 1:
+            raise ConfigError("max_task_failures must be >= 1")
+        if self.max_kill_ops < 1:
+            raise ConfigError("max_kill_ops must be >= 1")
+        if self.retry_backoff_ms < 0 or self.retry_backoff_max_ms < 0:
+            raise ConfigError("retry backoff times must be >= 0")
+        if self.retry_backoff_factor < 1.0:
+            raise ConfigError("retry_backoff_factor must be >= 1.0")
+        if self.executor_restart_ms < 0:
+            raise ConfigError("executor_restart_ms must be >= 0")
+        if self.speculation_multiplier < 1.0:
+            raise ConfigError("speculation_multiplier must be >= 1.0")
+
+    @property
+    def injection_enabled(self) -> bool:
+        """Whether any failure can actually be injected."""
+        return bool(self.scripted) or any(
+            p > 0.0 for p in (self.task_kill_prob,
+                              self.executor_crash_prob,
+                              self.fetch_corruption_prob))
+
+
+@dataclass(frozen=True)
 class DecaConfig:
     """Top-level configuration of a simulated Deca/Spark deployment."""
 
@@ -161,6 +260,9 @@ class DecaConfig:
     serializer: SerializerCosts = field(default_factory=SerializerCosts)
     io: IoCosts = field(default_factory=IoCosts)
     cpu: CpuCosts = field(default_factory=CpuCosts)
+
+    # --- fault tolerance ----------------------------------------------------
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     # --- engine behaviour ---------------------------------------------------
     mode: ExecutionMode = ExecutionMode.SPARK

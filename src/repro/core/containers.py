@@ -22,7 +22,7 @@ Deca's bulk reclamation safe.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..analysis.pointsto import ContainerKind
 from ..errors import ContainerError

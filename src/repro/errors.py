@@ -75,6 +75,65 @@ class ShuffleError(ExecutionError):
     """A shuffle read/write failure."""
 
 
+class FaultError(ExecutionError):
+    """Base class for injected / recovered failures (fault tolerance)."""
+
+
+class TaskKilledError(FaultError):
+    """A task attempt died (injected kill or executor-side failure)."""
+
+    def __init__(self, stage_id: int, partition: int, attempt: int) -> None:
+        super().__init__(
+            f"task {stage_id}.{partition} (attempt {attempt}) killed")
+        self.stage_id = stage_id
+        self.partition = partition
+        self.attempt = attempt
+
+
+class ExecutorLostError(FaultError):
+    """A whole executor process crashed mid-task.
+
+    Its cache blocks and shuffle map outputs are gone; the scheduler must
+    invalidate them and re-run the lineage that produced them.
+    """
+
+    def __init__(self, executor_id: int) -> None:
+        super().__init__(f"executor {executor_id} lost")
+        self.executor_id = executor_id
+
+
+class FetchFailedError(FaultError):
+    """A shuffle block could not be fetched (missing or corrupt).
+
+    Carries the coordinates of the map output that must be regenerated
+    before the reduce task can be retried — Spark's ``FetchFailed``.
+    """
+
+    def __init__(self, shuffle_id: int, map_part: int,
+                 reduce_part: int, reason: str = "corrupt") -> None:
+        super().__init__(
+            f"fetch of shuffle {shuffle_id} block "
+            f"({map_part}, {reduce_part}) failed: {reason}")
+        self.shuffle_id = shuffle_id
+        self.map_part = map_part
+        self.reduce_part = reduce_part
+        self.reason = reason
+
+
+class StageAbortError(FaultError):
+    """A task exhausted ``max_task_failures`` attempts; the stage aborts."""
+
+    def __init__(self, stage_id: int, partition: int,
+                 failures: int, last: Exception) -> None:
+        super().__init__(
+            f"stage {stage_id} aborted: task {partition} failed "
+            f"{failures} times; last failure: {last}")
+        self.stage_id = stage_id
+        self.partition = partition
+        self.failures = failures
+        self.last = last
+
+
 class CacheError(ExecutionError):
     """A cache-manager failure (unknown block, bad storage level, ...)."""
 

@@ -11,14 +11,23 @@ Public entry point: :class:`~repro.spark.context.DecaContext`.
 """
 
 from .context import DecaContext
+from .faults import FaultInjector, TaskFaultPlan
 from .rdd import RDD, UdtInfo
-from .metrics import JobMetrics, StageMetrics, TaskMetrics
+from .metrics import (
+    JobMetrics,
+    RecoveryMetrics,
+    StageMetrics,
+    TaskMetrics,
+)
 
 __all__ = [
     "DecaContext",
+    "FaultInjector",
     "RDD",
+    "TaskFaultPlan",
     "UdtInfo",
     "JobMetrics",
+    "RecoveryMetrics",
     "StageMetrics",
     "TaskMetrics",
 ]

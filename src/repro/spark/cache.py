@@ -221,15 +221,31 @@ class CacheStore:
         """
         removed = 0
         for key in [k for k in self.blocks if k[0] == rdd_id]:
-            block = self.blocks.pop(key)
-            self._lru.pop(key, None)
-            if block.alloc_group is not None and not block.alloc_group.freed:
-                self.executor.heap.free_group(block.alloc_group)
-            if block.page_group is not None \
-                    and not block.page_group.reclaimed:
-                block.page_group.reclaim()
+            self._drop_block(key)
             removed += 1
         return removed
+
+    def invalidate_all(self) -> int:
+        """Drop every block — the executor process that held them died.
+
+        Unlike :meth:`remove_rdd` this is not a lifetime event the
+        application chose: the partitions are simply gone, and the next
+        ``iterator()`` call on their RDDs recomputes them from lineage.
+        """
+        removed = 0
+        for key in list(self.blocks):
+            self._drop_block(key)
+            removed += 1
+        return removed
+
+    def _drop_block(self, key: BlockKey) -> None:
+        block = self.blocks.pop(key)
+        self._lru.pop(key, None)
+        if block.alloc_group is not None and not block.alloc_group.freed:
+            self.executor.heap.free_group(block.alloc_group)
+        if block.page_group is not None \
+                and not block.page_group.reclaimed:
+            block.page_group.reclaim()
 
     def read_records(self, key: BlockKey) -> Iterator[Any]:
         """Iterate a block's records, charging mode-appropriate costs.

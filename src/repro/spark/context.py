@@ -33,6 +33,7 @@ from .rdd import (
     ShuffleDependency,
     UdtInfo,
 )
+from .faults import FaultInjector
 from .scheduler import DAGScheduler, TaskContext
 from .executor import Executor
 from .shuffle import ShuffleBlockStore, ShufflePlan
@@ -78,10 +79,13 @@ class DecaContext:
         self.config = config or DecaConfig()
         self.mode = self.config.mode
         self.shuffle_store = ShuffleBlockStore()
+        self.fault_injector = FaultInjector(self.config.faults)
         self.executors = [
             Executor(i, self.config, self.shuffle_store)
             for i in range(self.config.num_executors)
         ]
+        for executor in self.executors:
+            executor.fault_injector = self.fault_injector
         self.scheduler = DAGScheduler(self)
         self.partitioner = stable_hash
         self._rdds: dict[int, RDD] = {}
@@ -115,8 +119,13 @@ class DecaContext:
                 name: str) -> list[Any]:
         return self.scheduler.run_job(rdd, func, name)
 
-    def executor_for(self, split: int) -> Executor:
-        return self.executors[split % len(self.executors)]
+    def executor_for(self, split: int, attempt: int = 0) -> Executor:
+        """The executor hosting *split*'s next attempt.
+
+        Retries rotate to the next executor so a task does not land on
+        the same (possibly just-crashed) process it died on.
+        """
+        return self.executors[(split + attempt) % len(self.executors)]
 
     # -- planning hooks (mode dispatch) ------------------------------------------------
     def plan_cache(self, rdd: RDD) -> CachePlan:
@@ -324,5 +333,6 @@ class DecaContext:
             if rdd.is_cached:
                 nbytes = self.cached_bytes_of(rdd)
                 if nbytes:
-                    run.cached_bytes[rdd.rdd_id] = nbytes
+                    run.cached_bytes[rdd.name] = \
+                        run.cached_bytes.get(rdd.name, 0) + nbytes
         return run

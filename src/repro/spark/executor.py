@@ -12,11 +12,13 @@ from __future__ import annotations
 from typing import Any, Iterator, TYPE_CHECKING
 
 from ..config import DecaConfig
+from ..errors import ExecutorLostError, TaskKilledError
 from ..jvm.heap import SimHeap
 from ..jvm.objects import AllocationGroup, Lifetime
 from ..memory.manager import DecaMemoryManager
 from ..simtime import SimClock
 from .cache import CacheStore
+from .faults import EXECUTOR_CRASH, FaultInjector, TaskFaultPlan
 from .profiler import HeapProfiler
 from .serializer import SerializerModel
 from .shuffle import ShuffleBlockStore, read_reduce_partition
@@ -49,6 +51,13 @@ class Executor:
         # Cumulative I/O time (for Fig. 11 breakdowns).
         self.disk_ms_total = 0.0
         self.network_ms_total = 0.0
+        # -- fault tolerance state --
+        self.alive = True
+        self.lost_count = 0
+        # Set by the context; consulted on shuffle-fetch corruption.
+        self.fault_injector: FaultInjector | None = None
+        self._fault_plan: TaskFaultPlan | None = None
+        self._fault_countdown = 0
 
     def _attribute_serializer_time(self, kind: str, ms: float) -> None:
         if self._current_task is None:
@@ -79,8 +88,42 @@ class Executor:
         if self.profiler is not None:
             self.profiler.maybe_sample()
 
+    # -- fault injection ---------------------------------------------------------
+    def arm_fault(self, plan: TaskFaultPlan) -> None:
+        """Schedule the current task attempt to fail.
+
+        The failure strikes after ``plan.after_ops`` compute charges, so a
+        non-zero countdown kills the attempt *mid-computation*, leaving
+        partial heap/buffer state for the recovery path to clean up.
+        """
+        self._fault_plan = plan
+        self._fault_countdown = plan.after_ops
+
+    def disarm_fault(self) -> None:
+        self._fault_plan = None
+        self._fault_countdown = 0
+
+    def _tick_fault(self) -> None:
+        plan = self._fault_plan
+        if plan is None:
+            return
+        if self._fault_countdown > 0:
+            self._fault_countdown -= 1
+            return
+        self.disarm_fault()
+        if plan.kind == EXECUTOR_CRASH:
+            self.alive = False
+            raise ExecutorLostError(self.executor_id)
+        metrics = (self._current_task.metrics
+                   if self._current_task is not None else None)
+        raise TaskKilledError(
+            metrics.stage_id if metrics else -1,
+            metrics.task_id if metrics else -1,
+            metrics.attempt if metrics else 0)
+
     # -- cost charging -------------------------------------------------------------
     def charge_compute(self, ms: float) -> None:
+        self._tick_fault()
         self.clock.advance(ms / self.parallelism)
         if self._current_task is not None:
             self._current_task.metrics.compute_ms += ms / self.parallelism
@@ -153,6 +196,37 @@ class Executor:
                                     - task._gc_start_ms)
         task.metrics.executor_id = self.executor_id
         self._current_task = None
+        self.disarm_fault()
+        self._sample()
+
+    def abort_task(self, task: "TaskContext", status: str) -> None:
+        """Tear down a failed task attempt.
+
+        Mirrors :meth:`end_task` — the attempt's UDF temporaries become
+        garbage, its partial metrics are finalized and stamped with the
+        failure *status* — without producing a result.
+        """
+        self.end_task(task)
+        task.metrics.status = status
+
+    def restart(self, restart_delay_ms: float) -> None:
+        """Bring a crashed executor back as a fresh process.
+
+        The crash loses everything in the old process: cached blocks are
+        invalidated (their heap groups freed) and the scheduler separately
+        unregisters this executor's shuffle outputs.  The simulated clock
+        pays the restart delay; GC statistics keep accumulating across the
+        restart so run-level metrics and profiler timelines stay monotone.
+        """
+        self.cache.invalidate_all()
+        if self._temp_group is not None and not self._temp_group.freed:
+            self.heap.free_group(self._temp_group)
+        self._temp_group = None
+        self._current_task = None
+        self.disarm_fault()
+        self.clock.advance(restart_delay_ms)
+        self.lost_count += 1
+        self.alive = True
         self._sample()
 
     # -- shuffle read -----------------------------------------------------------------

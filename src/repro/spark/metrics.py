@@ -7,11 +7,20 @@ from dataclasses import dataclass, field
 
 @dataclass
 class TaskMetrics:
-    """Cost breakdown of one task (Fig. 11's bars)."""
+    """Cost breakdown of one task attempt (Fig. 11's bars).
+
+    With fault tolerance enabled a (stage, partition) pair may run several
+    attempts; every attempt — failed, speculative or successful — lands in
+    its stage's task list so the metrics count the work actually performed.
+    """
 
     task_id: int = -1
     stage_id: int = -1
     executor_id: int = -1
+    attempt: int = 0
+    speculative: bool = False
+    # "success" | "killed" | "fetch-failed" | "executor-lost"
+    status: str = "success"
     records_read: int = 0
     records_written: int = 0
     compute_ms: float = 0.0
@@ -37,6 +46,47 @@ class TaskMetrics:
 
 
 @dataclass
+class RecoveryMetrics:
+    """What fault recovery cost one job (attempts, retries, recomputation).
+
+    ``recovery_ms`` sums the simulated time spent purely on recovery:
+    retry backoff waits, executor restart delay and the re-execution of
+    lineage that regenerated lost map outputs.
+    """
+
+    task_failures: int = 0
+    task_retries: int = 0
+    fetch_failures: int = 0
+    executors_lost: int = 0
+    recomputed_partitions: int = 0
+    speculative_tasks: int = 0
+    speculative_wins: int = 0
+    recovery_ms: float = 0.0
+
+    def add(self, other: "RecoveryMetrics") -> None:
+        self.task_failures += other.task_failures
+        self.task_retries += other.task_retries
+        self.fetch_failures += other.fetch_failures
+        self.executors_lost += other.executors_lost
+        self.recomputed_partitions += other.recomputed_partitions
+        self.speculative_tasks += other.speculative_tasks
+        self.speculative_wins += other.speculative_wins
+        self.recovery_ms += other.recovery_ms
+
+    def to_dict(self) -> dict:
+        return {
+            "task_failures": self.task_failures,
+            "task_retries": self.task_retries,
+            "fetch_failures": self.fetch_failures,
+            "executors_lost": self.executors_lost,
+            "recomputed_partitions": self.recomputed_partitions,
+            "speculative_tasks": self.speculative_tasks,
+            "speculative_wins": self.speculative_wins,
+            "recovery_ms": round(self.recovery_ms, 6),
+        }
+
+
+@dataclass
 class StageMetrics:
     """Aggregate over one stage's tasks."""
 
@@ -58,6 +108,15 @@ class StageMetrics:
             return None
         return max(self.tasks, key=lambda t: t.duration_ms)
 
+    @property
+    def attempts(self) -> int:
+        """Total task attempts, including failed and speculative ones."""
+        return len(self.tasks)
+
+    @property
+    def failed_attempts(self) -> int:
+        return sum(1 for t in self.tasks if t.status != "success")
+
 
 @dataclass
 class JobMetrics:
@@ -67,6 +126,7 @@ class JobMetrics:
     name: str
     stages: list[StageMetrics] = field(default_factory=list)
     wall_ms: float = 0.0
+    recovery: RecoveryMetrics = field(default_factory=RecoveryMetrics)
 
     @property
     def totals(self) -> TaskMetrics:
@@ -91,7 +151,9 @@ class RunMetrics:
     executor_concurrent_gc_ms: dict[int, float] = field(default_factory=dict)
     minor_gc_count: int = 0
     full_gc_count: int = 0
-    cached_bytes: dict[int, int] = field(default_factory=dict)
+    # Keyed by RDD *name*, not rdd_id: names are stable across runs while
+    # ids come from a process-global counter (determinism requirement).
+    cached_bytes: dict[str, int] = field(default_factory=dict)
     swapped_cache_bytes: int = 0
     spilled_shuffle_bytes: int = 0
 
@@ -111,3 +173,63 @@ class RunMetrics:
         if self.wall_ms <= 0:
             return 0.0
         return self.gc_pause_ms / self.wall_ms
+
+    @property
+    def recovery(self) -> RecoveryMetrics:
+        """Fault-recovery totals across every job of the run."""
+        total = RecoveryMetrics()
+        for job in self.jobs:
+            total.add(job.recovery)
+        return total
+
+    def to_dict(self) -> dict:
+        """A JSON-ready snapshot of the run (bench trajectory output).
+
+        Every value derives from the simulated clocks and the seeded
+        RNGs, so two runs with identical seeds serialize byte-identically
+        — the property the determinism CI job asserts.
+        """
+        return {
+            "wall_ms": round(self.wall_ms, 6),
+            "gc_pause_ms": round(self.gc_pause_ms, 6),
+            "minor_gc_count": self.minor_gc_count,
+            "full_gc_count": self.full_gc_count,
+            "cached_bytes": dict(sorted(self.cached_bytes.items())),
+            "swapped_cache_bytes": self.swapped_cache_bytes,
+            "spilled_shuffle_bytes": self.spilled_shuffle_bytes,
+            "recovery": self.recovery.to_dict(),
+            "jobs": [
+                {
+                    "job_id": job.job_id,
+                    "name": job.name,
+                    "wall_ms": round(job.wall_ms, 6),
+                    "recovery": job.recovery.to_dict(),
+                    "stages": [
+                        {
+                            "stage_id": stage.stage_id,
+                            "name": stage.name,
+                            "wall_ms": round(stage.wall_ms, 6),
+                            "attempts": stage.attempts,
+                            "failed_attempts": stage.failed_attempts,
+                            "tasks": [
+                                {
+                                    "task_id": task.task_id,
+                                    "attempt": task.attempt,
+                                    "executor_id": task.executor_id,
+                                    "status": task.status,
+                                    "speculative": task.speculative,
+                                    "records_read": task.records_read,
+                                    "duration_ms": round(
+                                        task.duration_ms, 6),
+                                    "gc_pause_ms": round(
+                                        task.gc_pause_ms, 6),
+                                }
+                                for task in stage.tasks
+                            ],
+                        }
+                        for stage in job.stages
+                    ],
+                }
+                for job in self.jobs
+            ],
+        }

@@ -594,21 +594,24 @@ def _group_records(records: Iterator[tuple[Any, Any]],
     buffer_group = executor.new_pinned_group("shuffle-read-buffer")
     groups: dict[Any, list] = {}
     count = 0
-    for key, value in records:
-        executor.charge_compute(cpu.hash_probe_ms)
-        bucket = groups.get(key)
-        if bucket is None:
-            groups[key] = bucket = []
-            executor.heap.allocate(buffer_group, 2, 48)
-        bucket.append(value)
-        if decomposed:
-            executor.heap.allocate(buffer_group, 0, 8)  # one pointer
-        else:
-            footprint = measure_generic(value)
-            executor.heap.allocate(buffer_group, footprint.objects,
-                                   footprint.object_bytes)
-        count += 1
+    # The buffer must be released even when the task dies mid-fill
+    # (injected kill, executor loss, fetch failure): a failed attempt's
+    # buffer is garbage, not a leaked live group.
     try:
+        for key, value in records:
+            executor.charge_compute(cpu.hash_probe_ms)
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = bucket = []
+                executor.heap.allocate(buffer_group, 2, 48)
+            bucket.append(value)
+            if decomposed:
+                executor.heap.allocate(buffer_group, 0, 8)  # one pointer
+            else:
+                footprint = measure_generic(value)
+                executor.heap.allocate(buffer_group, footprint.objects,
+                                       footprint.object_bytes)
+            count += 1
         for key, values in groups.items():
             yield key, values
     finally:
@@ -633,22 +636,25 @@ class JoinedRDD(RDD):
         cpu = executor.config.cpu
         buffer_group = executor.new_pinned_group("join-buffer")
         sides: tuple[dict[Any, list], dict[Any, list]] = ({}, {})
-        for dep, side in ((self.left_dep, 0), (self.right_dep, 1)):
-            # Decomposed inputs enter the cogroup table as pointers into
-            # the fetched pages (Fig. 7(a)); object inputs as graphs.
-            decomposed = self.ctx.plan_shuffle(dep).decomposed
-            for key, tagged in executor.read_shuffle(dep.shuffle_id, split,
-                                                     task):
-                value = tagged[1]  # strip the cogroup side tag
-                executor.charge_compute(cpu.hash_probe_ms)
-                sides[side].setdefault(key, []).append(value)
-                if decomposed:
-                    executor.heap.allocate(buffer_group, 0, 8)
-                    continue
-                footprint = measure_generic(value)
-                executor.heap.allocate(buffer_group, footprint.objects,
-                                       footprint.object_bytes)
+        # One try/finally spans fill and probe: a task that dies mid-fill
+        # (fault injection, fetch failure) must still free the buffer.
         try:
+            for dep, side in ((self.left_dep, 0), (self.right_dep, 1)):
+                # Decomposed inputs enter the cogroup table as pointers
+                # into the fetched pages (Fig. 7(a)); object inputs as
+                # graphs.
+                decomposed = self.ctx.plan_shuffle(dep).decomposed
+                for key, tagged in executor.read_shuffle(dep.shuffle_id,
+                                                         split, task):
+                    value = tagged[1]  # strip the cogroup side tag
+                    executor.charge_compute(cpu.hash_probe_ms)
+                    sides[side].setdefault(key, []).append(value)
+                    if decomposed:
+                        executor.heap.allocate(buffer_group, 0, 8)
+                        continue
+                    footprint = measure_generic(value)
+                    executor.heap.allocate(buffer_group, footprint.objects,
+                                           footprint.object_bytes)
             left, right = sides
             for key, left_values in left.items():
                 right_values = right.get(key)

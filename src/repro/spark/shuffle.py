@@ -24,7 +24,7 @@ import enum
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator
 
-from ..errors import ShuffleError
+from ..errors import FetchFailedError, ShuffleError
 from ..jvm.objects import Lifetime
 from ..memory.layout import Schema
 from .measure import RecordFootprint, measure_generic
@@ -107,6 +107,29 @@ class ShuffleBlockStore:
         for key in [k for k in self._blocks if k[0] == shuffle_id]:
             del self._blocks[key]
         self._num_map_parts.pop(shuffle_id, None)
+
+    def remove_map_output(self, shuffle_id: int, map_part: int) -> None:
+        """Forget one map task's blocks (e.g. after a corrupt fetch)."""
+        for key in [k for k in self._blocks
+                    if k[0] == shuffle_id and k[1] == map_part]:
+            del self._blocks[key]
+
+    def remove_executor_outputs(self, executor_id: int
+                                ) -> list[tuple[int, int]]:
+        """Drop every block a lost executor wrote.
+
+        Returns the sorted, de-duplicated ``(shuffle_id, map_part)`` pairs
+        that are now missing — the lineage the scheduler must re-execute.
+        Sorted order matters twice: recomputing lower shuffle ids first
+        regenerates parent stages before the children that read them, and
+        a deterministic order keeps seeded fault runs reproducible.
+        """
+        lost: set[tuple[int, int]] = set()
+        for key in [k for k in self._blocks
+                    if self._blocks[k].executor_id == executor_id]:
+            lost.add((key[0], key[1]))
+            del self._blocks[key]
+        return sorted(lost)
 
 
 def _default_measure(value) -> RecordFootprint:
@@ -276,6 +299,16 @@ class MapSideWriter:
         if not self._buffer_group.freed:
             self.executor.heap.free_group(self._buffer_group)
 
+    def abort(self) -> None:
+        """Tear down after a failed attempt: the buffer dies unregistered.
+
+        The data plane is discarded with the writer object; only the heap
+        group needs explicit release so the failed attempt's buffer shows
+        up as garbage instead of leaking as live objects.
+        """
+        if not self._buffer_group.freed:
+            self.executor.heap.free_group(self._buffer_group)
+
 
 def read_reduce_partition(executor, store: ShuffleBlockStore,
                           shuffle_id: int, reduce_part: int,
@@ -287,10 +320,23 @@ def read_reduce_partition(executor, store: ShuffleBlockStore,
     decomposed blocks are read in place.
     """
     num_maps = store.map_parts(shuffle_id)
+    injector = executor.fault_injector
     for map_part in range(num_maps):
         block = store.fetch(shuffle_id, map_part, reduce_part)
         if block is None:
-            continue
+            # The map output is gone (e.g. its executor was lost after the
+            # stage ran): surface a FetchFailed so the scheduler re-runs
+            # the lineage that produced it, exactly like Spark.
+            raise FetchFailedError(shuffle_id, map_part, reduce_part,
+                                   reason="missing map output")
+        if injector is not None and injector.enabled \
+                and injector.corrupt_fetch(shuffle_id, map_part,
+                                           reduce_part):
+            # The fetched bytes fail checksum verification; the reader
+            # still paid for the transfer it has performed so far.
+            executor.charge_disk_read(block.nbytes)
+            raise FetchFailedError(shuffle_id, map_part, reduce_part,
+                                   reason="corrupt block")
         executor.charge_disk_read(block.nbytes)
         if block.merge_penalty_bytes:
             # Merge the sorted spill runs through a one-page buffer

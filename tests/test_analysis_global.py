@@ -1,7 +1,5 @@
 """Tests for Algorithms 2–4 — global classification and its predicates."""
 
-import pytest
-
 from repro.analysis import (
     ArrayType,
     Assign,

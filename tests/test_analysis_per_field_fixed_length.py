@@ -6,8 +6,6 @@ the paper's definition is per-field: a class whose arrays all reach it
 through the fixed field still refines to SFST.
 """
 
-import pytest
-
 from repro.analysis import (
     ArrayType,
     Assign,
@@ -27,7 +25,6 @@ from repro.analysis import (
     StoreField,
     SymInput,
 )
-from repro.analysis.udt import DataType
 
 
 def mixed_length_scope():

@@ -2,13 +2,10 @@
 
 import os
 
-import pytest
-
-from repro.config import ExecutionMode, GcAlgorithm, MB
+from repro.config import ExecutionMode, GcAlgorithm
 from repro.bench.harness import (
     FigureRow,
     GRAPH_SCALES,
-    LR_SIZES,
     WC_SIZES,
     lr_config,
     lr_records_for,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.config import DecaConfig, ExecutionMode, MB
 from repro.spark import DecaContext
-from repro.spark.cache import StorageStrategy
 from repro.apps.logistic_regression import labeled_point_udt_info
 
 

@@ -7,7 +7,6 @@ from repro.analysis import SizeType
 from repro.analysis.pointsto import ContainerKind
 from repro.config import DecaConfig, ExecutionMode, MB
 from repro.core import (
-    Container,
     DecompositionKind,
     LifetimeRegistry,
     decide_decomposition,

@@ -8,8 +8,6 @@ import os
 import runpy
 import sys
 
-import pytest
-
 EXAMPLES = os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "examples")
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.config import DecaConfig, MB
 from repro.errors import PageError, PageOverflowError, PageReclaimedError
-from repro.jvm import Lifetime, SimHeap
+from repro.jvm import SimHeap
 from repro.memory import DecaMemoryManager, PageGroup, PagePointer
 from repro.memory.layout import PrimitiveSlot, RecordSchema
 from repro.analysis import DOUBLE, INT

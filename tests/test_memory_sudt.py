@@ -11,7 +11,7 @@ from repro.memory.layout import (
     RecordSchema,
     VarArraySchema,
 )
-from repro.analysis import CHAR, DOUBLE, INT
+from repro.analysis import CHAR, INT
 
 
 def labeled_point_schema(dims=4):

@@ -5,7 +5,6 @@ byte segments and reading them back must be lossless, for any record shape
 the classifier admits, and in-place writes must never disturb neighbours.
 """
 
-import struct
 
 from hypothesis import given, settings, strategies as st
 
@@ -15,7 +14,6 @@ from repro.analysis.udt import (
     DOUBLE,
     INT,
     LONG,
-    PrimitiveType,
     SHORT,
 )
 from repro.memory.layout import (

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import DecaConfig, ExecutionMode, MB
+from repro.config import DecaConfig, MB
 from repro.errors import ShuffleError
 from repro.spark import DecaContext
 from repro.spark.shuffle import (

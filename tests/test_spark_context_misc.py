@@ -132,7 +132,7 @@ class TestRunMetrics:
         rdd = ctx.parallelize(range(500), 2).map(lambda x: x).cache()
         rdd.count()
         run = ctx.finish()
-        assert run.cached_bytes.get(rdd.rdd_id, 0) > 0
+        assert run.cached_bytes.get(rdd.name, 0) > 0
         assert run.total_cached_bytes == sum(run.cached_bytes.values())
 
     def test_empty_run(self):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import DecaConfig, ExecutionMode, MB
+from repro.config import DecaConfig, MB
 from repro.spark import DecaContext
 from repro.spark.rdd import ShuffleDependency
 from repro.spark.scheduler import TaskContext
