@@ -9,8 +9,13 @@ exploring regimes interactively::
     python -m repro.bench kmeans --label 100GB
     python -m repro.bench cc --graph WB
     python -m repro.bench faults --kill-prob 0.1 --json fault_smoke
+    python -m repro.bench trace --json trace_sample
 
-Each run prints one row per execution mode (Spark / SparkSer / Deca).
+``trace`` runs a workload instrumented end to end by :mod:`repro.obs`,
+writes the Chrome ``trace_event`` JSON artifact (loadable in
+``about://tracing`` / Perfetto) and prints the per-executor utilization
+summary.  Each other run prints one row per execution mode (Spark /
+SparkSer / Deca).
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ import sys
 
 from ..config import ExecutionMode
 from ..errors import StageAbortError
+from ..obs import chrome_trace, utilization_summary
 from .harness import (
     GRAPH_SCALES,
     LR_SIZES,
@@ -29,6 +35,7 @@ from .harness import (
     run_graph_point,
     run_kmeans_point,
     run_lr_point,
+    run_trace_point,
     run_wc_point,
 )
 from .report import rows_as_json, rows_as_table, write_json_result
@@ -93,7 +100,22 @@ def main(argv: list[str] | None = None) -> int:
     ft.add_argument("--json", metavar="NAME",
                     help="also write benchmarks/results/<NAME>.json")
 
+    tr = sub.add_parser(
+        "trace",
+        help="instrumented WordCount writing a Chrome trace artifact")
+    tr.add_argument("--mode", default="spark",
+                    choices=[m.value for m in ExecutionMode])
+    tr.add_argument("--words", type=int, default=20_000)
+    tr.add_argument("--keys", type=int, default=2_000)
+    tr.add_argument("--kill-prob", type=float, default=0.0,
+                    help="arm the fault injector (aborted-attempt spans)")
+    tr.add_argument("--seed", type=int, default=17)
+    tr.add_argument("--json", metavar="NAME", default="trace_sample",
+                    help="trace artifact name under benchmarks/results/")
+
     args = parser.parse_args(argv)
+    if args.app == "trace":
+        return _run_trace(args)
     modes = _modes(args.modes)
 
     rows = []
@@ -135,6 +157,29 @@ def main(argv: list[str] | None = None) -> int:
         if args.json:
             path = write_json_result(args.json, rows_as_json(rows))
             print(f"wrote {path}")
+    return 0
+
+
+def _run_trace(args) -> int:
+    """The ``trace`` subcommand: run, export, summarize."""
+    from ..config import FaultConfig
+
+    faults = None
+    if args.kill_prob > 0.0:
+        faults = FaultConfig(seed=args.seed,
+                             task_kill_prob=args.kill_prob)
+    mode = {m.value: m for m in ExecutionMode}[args.mode]
+    row = run_trace_point(mode, words=args.words, keys=args.keys,
+                          faults=faults)
+    tracer = row.extra["run"].ctx.tracer
+    path = write_json_result(args.json, chrome_trace(tracer))
+    print(rows_as_table("repro.bench trace", [row]))
+    print()
+    print(utilization_summary(tracer, title="executor utilization"))
+    categories = sorted({e.category for e in tracer.events})
+    print(f"\n{len(tracer.events)} events "
+          f"({', '.join(categories)})")
+    print(f"wrote {path} — open in about://tracing or ui.perfetto.dev")
     return 0
 
 

@@ -273,6 +273,50 @@ def run_pr_tuning_point(storage_fraction: float,
 
 
 # ---------------------------------------------------------------------------
+# Trace point (repro.obs demonstration workload)
+# ---------------------------------------------------------------------------
+
+def run_trace_point(mode: ExecutionMode = ExecutionMode.SPARK,
+                    words: int = 20_000, keys: int = 2_000,
+                    faults: FaultConfig | None = None,
+                    **config_overrides: Any) -> FigureRow:
+    """A WordCount variant sized to exercise every traced code path.
+
+    The input lines are cached under a storage budget too small to hold
+    them (cache swap-outs), the shuffle budget is tiny (map-side spills)
+    and two jobs run over the same lineage (cache re-reads, multiple
+    job/stage spans) — so one run's trace contains job, stage and task
+    spans plus GC, spill and swap events.  ``extra["run"]`` carries the
+    :class:`~repro.apps.common.AppRun`, whose context owns the tracer.
+    """
+    from ..spark import DecaContext
+    from ..spark.metrics import RunMetrics
+
+    defaults: dict[str, Any] = dict(
+        mode=mode, heap_bytes=3 * MB, num_executors=2,
+        tasks_per_executor=2, page_bytes=128 * 1024,
+        storage_fraction=0.05, shuffle_fraction=0.05)
+    defaults.update(config_overrides)
+    if faults is not None:
+        defaults["faults"] = faults
+    ctx = DecaContext(DecaConfig(**defaults))
+    data = random_words(words, keys)
+    lines = ctx.text_file(data, 4, name="trace.input").cache()
+    counts = lines.map(lambda word: (word, 1), name="trace.pairs") \
+                  .reduce_by_key(lambda a, b: a + b, 4,
+                                 name="trace.counts")
+    total_words = lines.count()          # job 0: materialize the cache
+    result = dict(counts.collect())      # job 1: shuffle over cached input
+    metrics: RunMetrics = ctx.finish()
+    run = AppRun(result={"words": total_words, "counts": result},
+                 metrics=metrics, ctx=ctx)
+    row = _row("WC-TRACE", f"{words}w/{keys}k", mode, run,
+               words=words, keys=keys)
+    row.extra["run"] = run
+    return row
+
+
+# ---------------------------------------------------------------------------
 # Fault-recovery points (fault-tolerance benchmark)
 # ---------------------------------------------------------------------------
 

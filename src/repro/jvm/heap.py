@@ -36,6 +36,11 @@ from .stats import GcEvent, GcKind, GcStats
 # bytes (by freeing allocation groups) and returns the bytes it released.
 PressureHandler = Callable[[int], int]
 
+# A GC listener observes every collection as it is recorded; the executor
+# forwards these into the run's trace and the heap profiler accumulates
+# its pause timeline from the same stream.
+GcListener = Callable[[GcEvent], None]
+
 
 class SimHeap:
     """A generational heap with simulated tracing collections."""
@@ -52,6 +57,7 @@ class SimHeap:
         self._young_garbage = 0
         self._old_garbage = 0
         self._pressure_handlers: list[PressureHandler] = []
+        self._gc_listeners: list[GcListener] = []
         self._in_full_gc = False
 
     # -- capacity and occupancy ------------------------------------------------
@@ -110,6 +116,15 @@ class SimHeap:
     def add_pressure_handler(self, handler: PressureHandler) -> None:
         """Register a callback asked to release space under memory pressure."""
         self._pressure_handlers.append(handler)
+
+    def add_gc_listener(self, listener: GcListener) -> None:
+        """Register a callback observing every recorded collection."""
+        self._gc_listeners.append(listener)
+
+    def _record_gc(self, event: GcEvent) -> None:
+        self.stats.record(event)
+        for listener in self._gc_listeners:
+            listener(event)
 
     # -- allocation ---------------------------------------------------------------
     def allocate(self, group: AllocationGroup, objects: int,
@@ -211,7 +226,7 @@ class SimHeap:
             live_objects_after=self.live_objects,
             used_bytes_after=self.young_used_bytes + self.old_used_bytes,
         )
-        self.stats.record(event)
+        self._record_gc(event)
 
         if (self.old_used_bytes
                 > self.config.full_gc_threshold * self.old_capacity):
@@ -274,7 +289,7 @@ class SimHeap:
                 live_objects_after=self.live_objects,
                 used_bytes_after=self.young_used_bytes + self.old_used_bytes,
             )
-            self.stats.record(event)
+            self._record_gc(event)
             return event
         finally:
             self._in_full_gc = False

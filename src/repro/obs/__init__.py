@@ -1,0 +1,16 @@
+"""repro.obs — span/event tracing for the simulated engine.
+
+See docs/observability.md for the event model and exporters.
+"""
+
+from .export import chrome_trace, utilization_summary, write_chrome_trace
+from .tracer import DRIVER_PID, TraceEvent, Tracer
+
+__all__ = [
+    "DRIVER_PID",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "utilization_summary",
+    "write_chrome_trace",
+]

@@ -76,6 +76,10 @@ class CacheStore:
         self._tick = 0
         self.swapped_bytes_total = 0
         self.storage_budget = executor.config.storage_bytes
+        # Running sum of resident (not-on-disk) block bytes, maintained on
+        # put/swap/drop so the eviction loop stays O(1) per victim instead
+        # of recomputing O(blocks) on every iteration.
+        self._resident_bytes = 0
 
     # -- queries --------------------------------------------------------------
     def contains(self, key: BlockKey) -> bool:
@@ -91,6 +95,11 @@ class CacheStore:
 
     @property
     def memory_bytes(self) -> int:
+        return self._resident_bytes
+
+    def recompute_memory_bytes(self) -> int:
+        """O(blocks) ground truth for the resident counter (invariant
+        checks only — the hot paths must not call this)."""
         return sum(b.memory_bytes for b in self.blocks.values()
                    if not b.on_disk)
 
@@ -108,6 +117,8 @@ class CacheStore:
             raise CacheError(f"block {block.key} cached twice")
         self._make_room(block.memory_bytes)
         self.blocks[block.key] = block
+        if not block.on_disk:
+            self._resident_bytes += block.memory_bytes
         self._touch(block.key)
 
     def _make_room(self, nbytes: int) -> None:
@@ -160,7 +171,15 @@ class CacheStore:
             block.alloc_group = None
         block.on_disk = True
         block.memory_bytes = 0
+        self._resident_bytes -= released
         self.swapped_bytes_total += block.disk_bytes
+        executor.tracer.instant(
+            "cache:swap-out", "cache", ts_ms=executor.clock.now_ms,
+            pid=executor.trace_pid, rdd_id=key[0], partition=key[1],
+            strategy=block.strategy.value, released_bytes=released,
+            disk_bytes=block.disk_bytes,
+            heap_used_bytes=(executor.heap.young_used_bytes
+                             + executor.heap.old_used_bytes))
         return released
 
     def swap_in(self, key: BlockKey) -> CachedBlock:
@@ -197,8 +216,20 @@ class CacheStore:
             block.memory_bytes = group.allocated_bytes
         block._disk_payload = None
         block.on_disk = False
-        self._make_room(0)
+        self._resident_bytes += block.memory_bytes
+        # Touch BEFORE making room: under its stale LRU tick the
+        # just-restored block would itself be the first eviction victim,
+        # swapping straight back out (swap-in thrash).
         self._touch(key)
+        self._make_room(0)
+        executor.tracer.instant(
+            "cache:swap-in", "cache", ts_ms=executor.clock.now_ms,
+            pid=executor.trace_pid, rdd_id=key[0], partition=key[1],
+            strategy=block.strategy.value,
+            restored_bytes=block.memory_bytes,
+            disk_bytes=block.disk_bytes,
+            heap_used_bytes=(executor.heap.young_used_bytes
+                             + executor.heap.old_used_bytes))
         return block
 
     # -- heap pressure -----------------------------------------------------------
@@ -241,11 +272,19 @@ class CacheStore:
     def _drop_block(self, key: BlockKey) -> None:
         block = self.blocks.pop(key)
         self._lru.pop(key, None)
+        if not block.on_disk:
+            self._resident_bytes -= block.memory_bytes
         if block.alloc_group is not None and not block.alloc_group.freed:
             self.executor.heap.free_group(block.alloc_group)
         if block.page_group is not None \
                 and not block.page_group.reclaimed:
             block.page_group.reclaim()
+        # Release every payload reference: a dropped-while-swapped block
+        # must not keep its parked records/bytes reachable.
+        block.page_group = None
+        block.records = None
+        block.blob = None
+        block._disk_payload = None
 
     def read_records(self, key: BlockKey) -> Iterator[Any]:
         """Iterate a block's records, charging mode-appropriate costs.

@@ -17,12 +17,14 @@ Typical use::
 
 from __future__ import annotations
 
+import itertools
 import zlib
 from typing import Any, Callable, Iterable, Iterator
 
 from ..config import DecaConfig, ExecutionMode
 from ..errors import ExecutionError
 from ..jvm.objects import Lifetime
+from ..obs import Tracer
 from .cache import CachedBlock, StorageStrategy
 from .measure import ZERO_FOOTPRINT
 from .metrics import JobMetrics, RunMetrics
@@ -80,14 +82,22 @@ class DecaContext:
         self.mode = self.config.mode
         self.shuffle_store = ShuffleBlockStore()
         self.fault_injector = FaultInjector(self.config.faults)
+        # One trace buffer per run; every layer emits into it (repro.obs).
+        self.tracer = Tracer()
         self.executors = [
-            Executor(i, self.config, self.shuffle_store)
+            Executor(i, self.config, self.shuffle_store,
+                     tracer=self.tracer)
             for i in range(self.config.num_executors)
         ]
         for executor in self.executors:
             executor.fault_injector = self.fault_injector
         self.scheduler = DAGScheduler(self)
         self.partitioner = stable_hash
+        # Per-context id sequences: a fresh context numbers RDDs and
+        # shuffles from zero, keeping same-seed runs byte-identical even
+        # when several contexts live in one interpreter.
+        self._rdd_ids = itertools.count()
+        self._shuffle_ids = itertools.count()
         self._rdds: dict[int, RDD] = {}
         self._jobs: list[JobMetrics] = []
         self._spilled_shuffle_bytes = 0

@@ -15,7 +15,9 @@ from ..config import DecaConfig
 from ..errors import ExecutorLostError, TaskKilledError
 from ..jvm.heap import SimHeap
 from ..jvm.objects import AllocationGroup, Lifetime
+from ..jvm.stats import GcEvent
 from ..memory.manager import DecaMemoryManager
+from ..obs import Tracer
 from ..simtime import SimClock
 from .cache import CacheStore
 from .faults import EXECUTOR_CRASH, FaultInjector, TaskFaultPlan
@@ -31,11 +33,17 @@ class Executor:
     """One worker process with its own heap and clock."""
 
     def __init__(self, executor_id: int, config: DecaConfig,
-                 shuffle_store: ShuffleBlockStore) -> None:
+                 shuffle_store: ShuffleBlockStore,
+                 tracer: Tracer | None = None) -> None:
         self.executor_id = executor_id
         self.config = config
         self.clock = SimClock()
+        # Shared per-run tracer; executor events use pid executor_id + 1
+        # (pid 0 is the driver timeline).
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.trace_pid = executor_id + 1
         self.heap = SimHeap(config, self.clock, f"executor-{executor_id}")
+        self.heap.add_gc_listener(self._on_gc_event)
         self.memory_manager = DecaMemoryManager(config, self.heap)
         self.serializer = SerializerModel(
             config.serializer, self.clock,
@@ -58,6 +66,22 @@ class Executor:
         self.fault_injector: FaultInjector | None = None
         self._fault_plan: TaskFaultPlan | None = None
         self._fault_countdown = 0
+
+    def _on_gc_event(self, event: GcEvent) -> None:
+        """Forward one heap collection into the run's trace."""
+        self.tracer.complete(
+            f"gc:{event.kind.value}", "gc",
+            ts_ms=event.start_ms, dur_ms=event.total_cost_ms,
+            pid=self.trace_pid,
+            executor_id=self.executor_id,
+            kind=event.kind.value,
+            pause_ms=event.pause_ms,
+            concurrent_ms=event.concurrent_ms,
+            traced_objects=event.traced_objects,
+            reclaimed_bytes=event.reclaimed_bytes,
+            promoted_bytes=event.promoted_bytes,
+            live_objects_after=event.live_objects_after,
+            heap_used_bytes=event.used_bytes_after)
 
     def _attribute_serializer_time(self, kind: str, ms: float) -> None:
         if self._current_task is None:
@@ -133,30 +157,39 @@ class Executor:
         io = self.config.io
         ms = (io.disk_seek_ms + io.disk_write_per_byte_ms * nbytes) \
             / self.parallelism
+        start_ms = self.clock.now_ms
         self.clock.advance(ms)
         self.disk_ms_total += ms
         if self._current_task is not None:
             self._current_task.metrics.shuffle_write_ms += ms
+        self.tracer.complete("disk:write", "io.disk", ts_ms=start_ms,
+                             dur_ms=ms, pid=self.trace_pid, nbytes=nbytes)
         self._sample()
 
     def charge_disk_read(self, nbytes: int) -> None:
         io = self.config.io
         ms = (io.disk_seek_ms + io.disk_read_per_byte_ms * nbytes) \
             / self.parallelism
+        start_ms = self.clock.now_ms
         self.clock.advance(ms)
         self.disk_ms_total += ms
         if self._current_task is not None:
             self._current_task.metrics.shuffle_read_ms += ms
+        self.tracer.complete("disk:read", "io.disk", ts_ms=start_ms,
+                             dur_ms=ms, pid=self.trace_pid, nbytes=nbytes)
         self._sample()
 
     def charge_network(self, nbytes: int) -> None:
         io = self.config.io
         ms = (io.network_rtt_ms + io.network_per_byte_ms * nbytes) \
             / self.parallelism
+        start_ms = self.clock.now_ms
         self.clock.advance(ms)
         self.network_ms_total += ms
         if self._current_task is not None:
             self._current_task.metrics.shuffle_read_ms += ms
+        self.tracer.complete("net:transfer", "io.net", ts_ms=start_ms,
+                             dur_ms=ms, pid=self.trace_pid, nbytes=nbytes)
         self._sample()
 
     # -- allocation helpers -----------------------------------------------------------
@@ -186,7 +219,8 @@ class Executor:
         self._temp_group = self.heap.new_group(
             "udf-temp", Lifetime.TEMPORARY)
 
-    def end_task(self, task: "TaskContext") -> None:
+    def end_task(self, task: "TaskContext",
+                 status: str = "success") -> None:
         # UDF locals die with the task (§4.2).
         if self._temp_group is not None and not self._temp_group.freed:
             self.heap.free_group(self._temp_group)
@@ -195,19 +229,35 @@ class Executor:
         task.metrics.gc_pause_ms = (self.heap.stats.pause_ms
                                     - task._gc_start_ms)
         task.metrics.executor_id = self.executor_id
+        task.metrics.status = status
+        self._emit_task_span(task)
         self._current_task = None
         self.disarm_fault()
         self._sample()
+
+    def _emit_task_span(self, task: "TaskContext") -> None:
+        metrics = task.metrics
+        self.tracer.complete(
+            f"task:{metrics.stage_id}.{metrics.task_id}"
+            f".{metrics.attempt}", "task",
+            ts_ms=task._start_ms, dur_ms=metrics.duration_ms,
+            pid=self.trace_pid,
+            stage_id=metrics.stage_id, task_id=metrics.task_id,
+            attempt=metrics.attempt, status=metrics.status,
+            speculative=metrics.speculative,
+            gc_pause_ms=metrics.gc_pause_ms,
+            heap_used_bytes=(self.heap.young_used_bytes
+                             + self.heap.old_used_bytes))
 
     def abort_task(self, task: "TaskContext", status: str) -> None:
         """Tear down a failed task attempt.
 
         Mirrors :meth:`end_task` — the attempt's UDF temporaries become
         garbage, its partial metrics are finalized and stamped with the
-        failure *status* — without producing a result.
+        failure *status* — without producing a result.  The aborted
+        attempt's span lands in the trace with that status.
         """
-        self.end_task(task)
-        task.metrics.status = status
+        self.end_task(task, status=status)
 
     def restart(self, restart_delay_ms: float) -> None:
         """Bring a crashed executor back as a fresh process.
@@ -218,6 +268,7 @@ class Executor:
         pays the restart delay; GC statistics keep accumulating across the
         restart so run-level metrics and profiler timelines stay monotone.
         """
+        restart_start_ms = self.clock.now_ms
         self.cache.invalidate_all()
         if self._temp_group is not None and not self._temp_group.freed:
             self.heap.free_group(self._temp_group)
@@ -227,6 +278,11 @@ class Executor:
         self.clock.advance(restart_delay_ms)
         self.lost_count += 1
         self.alive = True
+        self.tracer.complete("executor:restart", "fault",
+                             ts_ms=restart_start_ms,
+                             dur_ms=restart_delay_ms, pid=self.trace_pid,
+                             executor_id=self.executor_id,
+                             lost_count=self.lost_count)
         self._sample()
 
     # -- shuffle read -----------------------------------------------------------------

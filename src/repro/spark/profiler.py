@@ -5,6 +5,12 @@ of one tracked UDT (``Tuple2`` for WC, ``LabeledPoint`` for LR) and the
 cumulative GC time.  :class:`HeapProfiler` does the same on the simulated
 clock: the executor calls :meth:`maybe_sample` inside its task loops, and a
 sample is taken whenever the clock has crossed the next sampling point.
+
+The profiler is a *consumer of the heap's GC event stream* (the same
+stream :mod:`repro.obs` exports as trace events): it subscribes via
+:meth:`~repro.jvm.heap.SimHeap.add_gc_listener` and accumulates its pause
+timeline from the events it receives, rather than re-reading aggregate
+statistics.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..jvm.heap import SimHeap
+from ..jvm.stats import GcEvent
 from ..simtime import SimClock
 
 
@@ -44,6 +51,14 @@ class HeapProfiler:
         self.tracked_counter = tracked_counter
         self.samples: list[ProfileSample] = []
         self._next_sample_ms = 0.0
+        # Pauses recorded before this profiler attached still count toward
+        # the cumulative timeline; later ones arrive through the stream.
+        self._gc_pause_ms = heap.stats.pause_ms
+        heap.add_gc_listener(self._on_gc_event)
+
+    def _on_gc_event(self, event: GcEvent) -> None:
+        """GC event stream consumer: accumulate the pause timeline."""
+        self._gc_pause_ms += event.pause_ms
 
     def maybe_sample(self) -> None:
         """Take samples for every period boundary the clock has crossed."""
@@ -62,7 +77,7 @@ class HeapProfiler:
             time_ms=when_ms,
             live_objects=self.heap.live_objects,
             tracked_objects=tracked,
-            gc_pause_ms=self.heap.stats.pause_ms,
+            gc_pause_ms=self._gc_pause_ms,
         ))
 
     def timeline(self) -> list[tuple[float, int, float]]:

@@ -15,7 +15,6 @@ object form, exactly as the real system leaves un-analyzable types intact.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field as dc_field
 from typing import Any, Callable, Iterable, Iterator, TYPE_CHECKING
 
@@ -105,14 +104,15 @@ class NarrowDependency(Dependency):
 class ShuffleDependency(Dependency):
     """A stage boundary: the parent's output is repartitioned by key."""
 
-    _ids = itertools.count()
-
     def __init__(self, parent: "RDD", num_reduce: int, kind: ShuffleKind,
                  merge_value: Callable[[Any, Any], Any] | None = None,
                  tag: int | None = None,
                  partitioner: Callable[[Any], int] | None = None) -> None:
         super().__init__(parent)
-        self.shuffle_id = next(ShuffleDependency._ids)
+        # Ids are per-context (not process-global) so two same-seed runs
+        # emit identical ids — and byte-identical traces — even when they
+        # share one interpreter.
+        self.shuffle_id = next(parent.ctx._shuffle_ids)
         self.num_reduce = num_reduce
         self.kind = kind
         self.merge_value = merge_value
@@ -126,8 +126,6 @@ class ShuffleDependency(Dependency):
 class RDD:
     """Base class: a lazy, partitioned dataset."""
 
-    _ids = itertools.count()
-
     def __init__(self, ctx: "DecaContext", deps: list[Dependency],
                  num_partitions: int, name: str,
                  udt_info: UdtInfo | None = None) -> None:
@@ -135,7 +133,7 @@ class RDD:
             raise ExecutionError(
                 f"RDD {name!r} needs at least one partition")
         self.ctx = ctx
-        self.rdd_id = next(RDD._ids)
+        self.rdd_id = next(ctx._rdd_ids)
         self.deps = deps
         self.num_partitions = num_partitions
         self.name = name

@@ -147,6 +147,9 @@ class DAGScheduler:
 
         results = self._run_result_stage(result_stage, func, metrics)
         metrics.wall_ms = self._sync_clocks() - start_ms
+        self.ctx.tracer.complete(
+            f"job:{name}", "job", ts_ms=start_ms,
+            dur_ms=metrics.wall_ms, job_id=job_id)
         self.ctx._record_job(metrics)
         return results
 
@@ -216,6 +219,7 @@ class DAGScheduler:
                                     job_metrics)
         self._maybe_speculate(stage, stage_metrics, job_metrics)
         stage_metrics.wall_ms = self._sync_clocks() - stage_start
+        self._emit_stage_span(stage_metrics, stage_start)
         job_metrics.stages.append(stage_metrics)
 
     def _run_result_stage(self, stage: Stage,
@@ -234,8 +238,18 @@ class DAGScheduler:
                 stage, split, body, stage_metrics, job_metrics))
         self._maybe_speculate(stage, stage_metrics, job_metrics, body=body)
         stage_metrics.wall_ms = self._sync_clocks() - stage_start
+        self._emit_stage_span(stage_metrics, stage_start)
         job_metrics.stages.append(stage_metrics)
         return results
+
+    def _emit_stage_span(self, stage_metrics: StageMetrics,
+                         start_ms: float) -> None:
+        self.ctx.tracer.complete(
+            f"stage:{stage_metrics.name}", "stage", ts_ms=start_ms,
+            dur_ms=stage_metrics.wall_ms,
+            stage_id=stage_metrics.stage_id,
+            attempts=stage_metrics.attempts,
+            failed_attempts=stage_metrics.failed_attempts)
 
     # -- the retry loop ----------------------------------------------------------------
     def _run_task_attempts(self, stage: Stage, split: int, body: TaskBody,
@@ -368,8 +382,10 @@ class DAGScheduler:
         start_ms = max(e.clock.now_ms for e in self.ctx.executors)
         self._run_task_attempts(stage, map_part, body, stage_metrics,
                                 job_metrics)
-        recovery.recovery_ms += (
+        stage_metrics.wall_ms = (
             max(e.clock.now_ms for e in self.ctx.executors) - start_ms)
+        recovery.recovery_ms += stage_metrics.wall_ms
+        self._emit_stage_span(stage_metrics, start_ms)
         job_metrics.stages.append(stage_metrics)
 
     # -- speculation -------------------------------------------------------------------

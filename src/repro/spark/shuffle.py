@@ -165,6 +165,11 @@ class MapSideWriter:
         self._buffer_bytes = 0
         self.spilled_bytes = 0
         self.records_written = 0
+        # Records written into the current buffer epoch (reset by each
+        # spill): the sort at spill time only touches these, not the
+        # records already sorted out to disk by earlier spills.
+        self._buffer_records = 0
+        self.spill_count = 0
         self._page_bytes = executor.config.page_bytes
 
     # -- write path -----------------------------------------------------------
@@ -211,6 +216,7 @@ class MapSideWriter:
                 self.executor.alloc_temp(max(1, footprint.objects - 1),
                                          footprint.object_bytes // 2)
         self.records_written += 1
+        self._buffer_records += 1
         self._maybe_spill()
 
     def _write_append(self, key, value, cpu) -> None:
@@ -225,6 +231,7 @@ class MapSideWriter:
                 cpu.object_alloc_ms * footprint.objects)
             self._account_buffer(footprint.objects, footprint.object_bytes)
         self.records_written += 1
+        self._buffer_records += 1
         self._maybe_spill()
 
     def _account_decomposed(self, nbytes: int) -> None:
@@ -251,21 +258,42 @@ class MapSideWriter:
             return
         # Sort and spill the buffered bytes, then release the heap space
         # (the data plane keeps the records; only costs are charged).
+        # The sort covers this epoch's records only — records spilled by
+        # earlier epochs already left the buffer and are merged at read
+        # time, not re-sorted here.
         cpu = self.executor.config.cpu
-        self.executor.charge_compute(
-            cpu.sort_per_record_ms * self.records_written)
-        self.executor.charge_disk_write(self._buffer_bytes)
+        executor = self.executor
+        spill_start_ms = executor.clock.now_ms
+        executor.charge_compute(
+            cpu.sort_per_record_ms * self._buffer_records)
+        executor.charge_disk_write(self._buffer_bytes)
         self.spilled_bytes += self._buffer_bytes
-        self.executor.heap.free_group(self._buffer_group)
-        self._buffer_group = self.executor.heap.new_group(
+        self.spill_count += 1
+        executor.heap.free_group(self._buffer_group)
+        self._buffer_group = executor.heap.new_group(
             f"shuffle-buf:{self.shuffle_id}:{self.map_part}:spill",
             Lifetime.PINNED)
+        executor.tracer.complete(
+            "shuffle:spill", "shuffle", ts_ms=spill_start_ms,
+            dur_ms=executor.clock.now_ms - spill_start_ms,
+            pid=executor.trace_pid, shuffle_id=self.shuffle_id,
+            map_part=self.map_part, spilled_bytes=self._buffer_bytes,
+            records=self._buffer_records, spill_count=self.spill_count,
+            heap_used_bytes=(executor.heap.young_used_bytes
+                             + executor.heap.old_used_bytes))
         self._buffer_bytes = 0
+        self._buffer_records = 0
 
     # -- flush -----------------------------------------------------------------
     def flush(self, store: ShuffleBlockStore) -> None:
         """Sort, serialize and register the per-partition outputs."""
         cpu = self.executor.config.cpu
+        # Spread the spill-merge penalty across the reduce partitions
+        # without losing the division remainder: the first
+        # ``spilled_bytes % num_reduce`` partitions carry one extra byte,
+        # so the penalties sum exactly to the bytes actually spilled.
+        penalty_base, penalty_rem = divmod(self.spilled_bytes,
+                                           self.num_reduce)
         for part in range(self.num_reduce):
             if self.kind is ShuffleKind.COMBINE:
                 records = list(self._combine[part].items())
@@ -287,7 +315,7 @@ class MapSideWriter:
             else:
                 self.executor.serializer.kryo_serialize(objects, nbytes)
                 self.executor.charge_disk_write(nbytes)
-            penalty = self.spilled_bytes // self.num_reduce
+            penalty = penalty_base + (1 if part < penalty_rem else 0)
             store.register(
                 self.shuffle_id, self.map_part, part,
                 MapOutputBlock(records=records, nbytes=nbytes,
@@ -321,12 +349,19 @@ def read_reduce_partition(executor, store: ShuffleBlockStore,
     """
     num_maps = store.map_parts(shuffle_id)
     injector = executor.fault_injector
+    tracer = executor.tracer
     for map_part in range(num_maps):
+        fetch_start_ms = executor.clock.now_ms
         block = store.fetch(shuffle_id, map_part, reduce_part)
         if block is None:
             # The map output is gone (e.g. its executor was lost after the
             # stage ran): surface a FetchFailed so the scheduler re-runs
             # the lineage that produced it, exactly like Spark.
+            tracer.instant(
+                "shuffle:fetch-failed", "shuffle",
+                ts_ms=executor.clock.now_ms, pid=executor.trace_pid,
+                shuffle_id=shuffle_id, map_part=map_part,
+                reduce_part=reduce_part, reason="missing map output")
             raise FetchFailedError(shuffle_id, map_part, reduce_part,
                                    reason="missing map output")
         if injector is not None and injector.enabled \
@@ -335,6 +370,11 @@ def read_reduce_partition(executor, store: ShuffleBlockStore,
             # The fetched bytes fail checksum verification; the reader
             # still paid for the transfer it has performed so far.
             executor.charge_disk_read(block.nbytes)
+            tracer.instant(
+                "shuffle:fetch-failed", "shuffle",
+                ts_ms=executor.clock.now_ms, pid=executor.trace_pid,
+                shuffle_id=shuffle_id, map_part=map_part,
+                reduce_part=reduce_part, reason="corrupt block")
             raise FetchFailedError(shuffle_id, map_part, reduce_part,
                                    reason="corrupt block")
         executor.charge_disk_read(block.nbytes)
@@ -342,11 +382,21 @@ def read_reduce_partition(executor, store: ShuffleBlockStore,
             # Merge the sorted spill runs through a one-page buffer
             # (Appendix C): an extra sequential read of the spilled data.
             executor.charge_disk_read(block.merge_penalty_bytes)
-        if block.executor_id != executor.executor_id:
+        remote = block.executor_id != executor.executor_id
+        if remote:
             executor.charge_network(block.nbytes)
         if block.decomposed:
             executor.serializer.deca_read(len(block.records), block.nbytes)
         else:
             executor.serializer.kryo_deserialize(block.objects,
                                                  block.nbytes)
+        # The fetch wait: everything between asking for the block and
+        # having its records decoded and ready to aggregate.
+        tracer.complete(
+            "shuffle:fetch", "shuffle", ts_ms=fetch_start_ms,
+            dur_ms=executor.clock.now_ms - fetch_start_ms,
+            pid=executor.trace_pid, shuffle_id=shuffle_id,
+            map_part=map_part, reduce_part=reduce_part,
+            nbytes=block.nbytes, remote=remote,
+            merge_penalty_bytes=block.merge_penalty_bytes)
         yield from block.records

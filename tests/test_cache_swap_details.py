@@ -3,7 +3,10 @@
 import pytest
 
 from repro.config import DecaConfig, ExecutionMode, MB
+from repro.jvm.objects import Lifetime
 from repro.spark import DecaContext
+from repro.spark.cache import CachedBlock, StorageStrategy
+from repro.spark.measure import RecordFootprint
 from repro.apps.logistic_regression import labeled_point_udt_info
 
 
@@ -76,6 +79,111 @@ class TestSwapRoundtrips:
         key = next(iter(executor.cache.blocks))
         executor.cache.swap_out(key)
         assert executor.serializer.ser_ms_total > ser_before
+
+
+def bare_store():
+    """A real executor's cache store, to be filled with synthetic blocks."""
+    ctx = DecaContext(DecaConfig(mode=ExecutionMode.SPARK,
+                                 heap_bytes=32 * MB, num_executors=1,
+                                 tasks_per_executor=2))
+    executor = ctx.executors[0]
+    return executor, executor.cache
+
+
+def object_block(executor, rdd_id, nbytes=10_000):
+    """An OBJECTS-strategy block with a known heap footprint."""
+    footprint = RecordFootprint(objects=10, object_bytes=nbytes,
+                                data_bytes=nbytes // 2)
+    group = executor.heap.new_group(f"cache:({rdd_id}, 0)",
+                                    Lifetime.PINNED)
+    executor.heap.allocate(group, footprint.objects, nbytes)
+    return CachedBlock(
+        key=(rdd_id, 0), strategy=StorageStrategy.OBJECTS,
+        records=[(rdd_id, i) for i in range(10)], blob=None,
+        page_group=None, schema=None, decode=None, record_count=10,
+        memory_bytes=nbytes, disk_bytes=nbytes // 2, footprint=footprint,
+        alloc_group=group)
+
+
+class TestSwapInLruOrder:
+    def test_swapped_in_block_is_not_its_own_eviction_victim(self):
+        """Swap-in must touch the block before making room: under its
+        stale LRU tick the just-restored block would be re-evicted at
+        once (swap-in thrash), leaving the true LRU block resident."""
+        executor, store = bare_store()
+        store.storage_budget = 15_000
+        block_a = object_block(executor, rdd_id=1)
+        block_b = object_block(executor, rdd_id=2)
+        store.put(block_a)
+        store.put(block_b)          # budget fits one: A swaps out
+        assert block_a.on_disk and not block_b.on_disk
+        restored = store.swap_in(block_a.key)
+        assert restored is block_a
+        assert not block_a.on_disk, "swap-in thrash: A re-evicted itself"
+        assert block_b.on_disk, "B was the LRU block once A was touched"
+
+    def test_swap_in_thrash_does_not_recharge_disk(self):
+        executor, store = bare_store()
+        store.storage_budget = 15_000
+        block_a = object_block(executor, rdd_id=1)
+        block_b = object_block(executor, rdd_id=2)
+        store.put(block_a)
+        store.put(block_b)
+        swapped_before = store.swapped_bytes_total
+        store.swap_in(block_a.key)
+        # Exactly one block (B) moved to disk while restoring A; the
+        # pre-fix thrash wrote A straight back out instead.
+        assert store.swapped_bytes_total - swapped_before \
+            == block_b.disk_bytes
+        assert not block_a.on_disk
+
+
+class TestDropBlockReleasesPayloads:
+    def test_drop_clears_parked_disk_payload(self):
+        executor, store = bare_store()
+        block = object_block(executor, rdd_id=3)
+        store.put(block)
+        store.swap_out(block.key)
+        assert block._disk_payload is not None
+        store.remove_rdd(3)
+        assert block._disk_payload is None
+        assert block.records is None
+        assert block.blob is None
+        assert block.page_group is None
+
+    def test_invalidate_all_clears_resident_payloads(self):
+        executor, store = bare_store()
+        block = object_block(executor, rdd_id=4)
+        store.put(block)
+        store.invalidate_all()
+        assert block.records is None
+        assert block._disk_payload is None
+
+
+class TestResidentBytesCounter:
+    def test_counter_tracks_put_swap_and_drop(self):
+        executor, store = bare_store()
+        store.storage_budget = 25_000
+        blocks = [object_block(executor, rdd_id=i) for i in range(1, 5)]
+        for block in blocks:
+            store.put(block)
+            assert store.memory_bytes == store.recompute_memory_bytes()
+        store.swap_in(blocks[0].key)
+        assert store.memory_bytes == store.recompute_memory_bytes()
+        store.remove_rdd(2)
+        assert store.memory_bytes == store.recompute_memory_bytes()
+        store.invalidate_all()
+        assert store.memory_bytes == store.recompute_memory_bytes() == 0
+
+    @pytest.mark.parametrize("mode", list(ExecutionMode),
+                             ids=lambda m: m.value)
+    def test_counter_matches_ground_truth_after_run(self, mode):
+        ctx, rdd, _ = ctx_with_cached(mode)
+        store = ctx.executors[0].cache
+        assert store.memory_bytes == store.recompute_memory_bytes() > 0
+        for key in list(store.blocks):
+            store.swap_out(key)
+        assert store.memory_bytes == store.recompute_memory_bytes() == 0
 
 
 class TestPageInfoCursor:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import DecaConfig, MB
+from repro.config import CpuCosts, DecaConfig, IoCosts, MB, SerializerCosts
 from repro.errors import ShuffleError
 from repro.spark import DecaContext
 from repro.spark.shuffle import (
@@ -194,6 +194,65 @@ class TestSpillMerge:
         list(read_reduce_partition(reader_b, plain_store, 0, 0))
         spilled_cost = reader.disk_ms_total - disk_before
         assert spilled_cost > reader_b.disk_ms_total
+
+    def test_spill_sort_charges_cover_only_the_buffer_epoch(self):
+        """Each spill sorts the records accumulated since the previous
+        spill — not every record written so far.  With the sort as the
+        only nonzero cost, the clock reads out exactly how many records
+        were sorted; re-charging cumulative counts (the pre-fix bug)
+        would push it past ``records_written``."""
+        sort_ms = 1.0
+        exe = executor(
+            heap_bytes=32 * MB, shuffle_fraction=0.001,
+            storage_fraction=0.1, tasks_per_executor=1,
+            cpu=CpuCosts(record_op_ms=0.0, arithmetic_per_dim_ms=0.0,
+                         hash_probe_ms=0.0, sort_per_record_ms=sort_ms,
+                         object_alloc_ms=0.0, boxing_ms=0.0,
+                         page_access_ms=0.0),
+            io=IoCosts(disk_write_per_byte_ms=0.0,
+                       disk_read_per_byte_ms=0.0, disk_seek_ms=0.0,
+                       network_per_byte_ms=0.0, network_rtt_ms=0.0),
+            serializer=SerializerCosts(kryo_ser_per_object_ms=0.0,
+                                       kryo_deser_per_object_ms=0.0,
+                                       deca_write_per_object_ms=0.0,
+                                       deca_read_per_object_ms=0.0))
+        writer = MapSideWriter(
+            exe, shuffle_id=0, map_part=0, num_reduce=1,
+            partitioner=lambda k: 0, kind=ShuffleKind.GROUP)
+        writer.write_all([(k, "x" * 50) for k in range(2000)])
+        assert writer.spill_count >= 2
+        spills = [e for e in exe.tracer.events
+                  if e.name == "shuffle:spill"]
+        sorted_records = sum(e.args["records"] for e in spills)
+        # The spill epochs partition the input: spilled plus still
+        # buffered equals everything written, with no overlap.
+        assert sorted_records + writer._buffer_records \
+            == writer.records_written
+        assert exe.clock.now_ms == pytest.approx(
+            sort_ms * sorted_records)
+        assert exe.clock.now_ms <= sort_ms * writer.records_written
+
+    def test_merge_penalty_sums_exactly_to_spilled_bytes(self):
+        """The per-partition merge penalties must add up to the bytes
+        actually spilled; the pre-fix floor division dropped the
+        remainder."""
+        exe = executor(heap_bytes=2 * MB, shuffle_fraction=0.001,
+                       storage_fraction=0.1)
+        num_reduce = 3
+        writer = MapSideWriter(
+            exe, shuffle_id=0, map_part=0, num_reduce=num_reduce,
+            partitioner=lambda k: k, kind=ShuffleKind.GROUP)
+        writer.write_all([(k, "x" * (50 + k % 7)) for k in range(2000)])
+        assert writer.spilled_bytes > 0
+        assert writer.spilled_bytes % num_reduce != 0, \
+            "pick sizes leaving a remainder, or the test proves nothing"
+        store = ShuffleBlockStore()
+        store.set_map_parts(0, 1)
+        writer.flush(store)
+        penalties = [store.fetch(0, 0, part).merge_penalty_bytes
+                     for part in range(num_reduce)]
+        assert sum(penalties) == writer.spilled_bytes
+        assert max(penalties) - min(penalties) <= 1
 
     def test_unspilled_blocks_have_no_penalty(self):
         exe = executor()
