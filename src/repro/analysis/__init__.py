@@ -57,7 +57,14 @@ from .callgraph import CallGraph
 from .symconst import Affine, TOP, AbstractValue, SymbolicInterpreter
 from .global_refine import GlobalClassifier
 from .phased import Phase, PhasedClassifier, PhaseReport
-from .explain import explain_classification
+from .explain import (
+    Provenance,
+    ProvenanceStep,
+    explain_classification,
+    explain_phases,
+    explain_provenance,
+    render_provenance,
+)
 from .pointsto import (
     ContainerKind,
     ContainerRef,
@@ -118,5 +125,10 @@ __all__ = [
     "PointsToBinding",
     "assign_all",
     "assign_ownership",
+    "Provenance",
+    "ProvenanceStep",
     "explain_classification",
+    "explain_phases",
+    "explain_provenance",
+    "render_provenance",
 ]

@@ -1,4 +1,4 @@
-"""Human-readable explanations of classification decisions.
+"""Explanations of classification decisions, human- and machine-readable.
 
 ``explain_classification`` walks a UDT the way Algorithms 1–4 do and
 narrates every verdict — which field capped the size-type, which array
@@ -6,17 +6,89 @@ failed the fixed-length check, which field is or is not init-only.  The
 Deca optimizer's plan reports give the *what*; this module gives the
 *why*, which is what a user needs when their type unexpectedly stays in
 object form.
+
+``explain_provenance`` produces the same chain of reasoning as structured
+data: a :class:`Provenance` holding one :class:`ProvenanceStep` per rule
+firing, each tagged with a stable machine-readable rule id
+(``algorithm-1.local``, ``algorithm-3.fixed-length``, …), the subject it
+examined and the conclusion it reached.  ``repro.lint`` attaches these
+chains to its findings, and the text renderer derives the human format
+from the same steps, so the two can never drift apart.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from .callgraph import CallGraph
 from .global_refine import GlobalClassifier
 from .local import LocalClassifier, classify_locally
+from .phased import Phase, PhasedClassifier
 from .size_type import SizeType
 from .symconst import Affine
 from .udt import ArrayType, ClassType, DataType, Field, PrimitiveType, \
     type_dependency_cycle
+
+
+@dataclass(frozen=True)
+class ProvenanceStep:
+    """One rule firing: which algorithm examined what, and its conclusion.
+
+    *rule* is a stable machine id (``algorithm-1.local``,
+    ``algorithm-3.fixed-length``, ``algorithm-4.init-only``, ``verdict``,
+    …); *detail* is the human sentence the text renderer prints; *phase*
+    names the analysis phase the step ran in, when phased refinement is
+    involved (§3.4).
+    """
+
+    rule: str
+    subject: str
+    verdict: str
+    detail: str = ""
+    phase: str | None = None
+
+    def to_dict(self) -> dict[str, str]:
+        data = {"rule": self.rule, "subject": self.subject,
+                "verdict": self.verdict}
+        if self.detail:
+            data["detail"] = self.detail
+        if self.phase is not None:
+            data["phase"] = self.phase
+        return data
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """The full machine-readable provenance chain behind one verdict."""
+
+    udt: str
+    verdict: SizeType
+    decomposable: bool
+    steps: tuple[ProvenanceStep, ...]
+    phase: str | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        data: dict[str, object] = {
+            "udt": self.udt,
+            "verdict": self.verdict.value,
+            "decomposable": self.decomposable,
+            "steps": [step.to_dict() for step in self.steps],
+        }
+        if self.phase is not None:
+            data["phase"] = self.phase
+        return data
+
+    def rules_fired(self) -> tuple[str, ...]:
+        return tuple(step.rule for step in self.steps)
+
+
+# Steps whose detail lines are rendered at the inner indent level.
+_DETAIL_RULES = frozenset({
+    "algorithm-1.field",
+    "algorithm-1.element",
+    "algorithm-3.fixed-length",
+    "algorithm-4.init-only",
+})
 
 
 def explain_classification(udt: DataType,
@@ -24,39 +96,111 @@ def explain_classification(udt: DataType,
                            assume_init_only: tuple[Field, ...] = ()
                            ) -> str:
     """Return a multi-line explanation of *udt*'s size-type."""
-    lines: list[str] = [f"classification of {udt.name}"]
+    return render_provenance(
+        explain_provenance(udt, callgraph,
+                           assume_init_only=assume_init_only))
+
+
+def render_provenance(provenance: Provenance) -> str:
+    """Render a provenance chain in the classic multi-line text format."""
+    lines = [f"classification of {provenance.udt}"]
+    for step in provenance.steps:
+        indent = "    " if step.rule in _DETAIL_RULES else "  "
+        lines.append(indent + step.detail)
+    return "\n".join(lines)
+
+
+def explain_provenance(udt: DataType,
+                       callgraph: CallGraph | None = None,
+                       assume_init_only: tuple[Field, ...] = (),
+                       phase: str | None = None,
+                       assumption_source: str | None = None
+                       ) -> Provenance:
+    """Build the machine-readable provenance chain for *udt*'s verdict.
+
+    *phase* tags every step with the phase the analysis ran in;
+    *assumption_source* names the phase that vouched for the
+    *assume_init_only* fields (so the explanation never drops the phase
+    name when the verdict rests on another phase's work).
+    """
+    steps: list[ProvenanceStep] = []
 
     cycle = type_dependency_cycle(udt)
     if cycle is not None:
         path = " -> ".join(t.name for t in cycle)
-        lines.append(f"  recursively-defined: cycle {path}")
-        lines.append("  verdict: recursively-defined (never decomposable)")
-        return "\n".join(lines)
+        steps.append(ProvenanceStep(
+            rule="algorithm-1.recursive", subject=udt.name,
+            verdict=SizeType.RECURSIVELY_DEFINED.value,
+            detail=f"recursively-defined: cycle {path}", phase=phase))
+        steps.append(ProvenanceStep(
+            rule="verdict", subject=udt.name,
+            verdict=SizeType.RECURSIVELY_DEFINED.value,
+            detail="verdict: recursively-defined (never decomposable)",
+            phase=phase))
+        return Provenance(udt=udt.name,
+                          verdict=SizeType.RECURSIVELY_DEFINED,
+                          decomposable=False, steps=tuple(steps),
+                          phase=phase)
 
     local = classify_locally(udt)
-    lines.append(f"  local (Algorithm 1): {local.value}")
-    lines.extend(_explain_local(udt, indent="    "))
+    steps.append(ProvenanceStep(
+        rule="algorithm-1.local", subject=udt.name, verdict=local.value,
+        detail=f"local (Algorithm 1): {local.value}", phase=phase))
+    steps.extend(_local_steps(udt, phase))
 
     if callgraph is None:
-        lines.append("  no call graph: global refinement unavailable; "
-                     "the local verdict stands")
-        lines.append(f"  verdict: {local.value}")
-        return "\n".join(lines)
+        steps.append(ProvenanceStep(
+            rule="scope.missing", subject=udt.name, verdict=local.value,
+            detail="no call graph: global refinement unavailable; "
+                   "the local verdict stands", phase=phase))
+        steps.append(ProvenanceStep(
+            rule="verdict", subject=udt.name, verdict=local.value,
+            detail=f"verdict: {local.value}", phase=phase))
+        return Provenance(udt=udt.name, verdict=local,
+                          decomposable=local.decomposable,
+                          steps=tuple(steps), phase=phase)
 
     classifier = GlobalClassifier(callgraph,
-                                  assume_init_only=assume_init_only)
+                                  assume_init_only=assume_init_only,
+                                  assumption_source=assumption_source)
     refined = classifier.classify(udt)
-    lines.append(f"  global (Algorithms 2-4): {refined.value}")
-    lines.extend(_explain_global(udt, classifier, indent="    "))
-    lines.append(f"  verdict: {refined.value}"
-                 + (" (decomposable)" if refined.decomposable
-                    else " (kept in object form)"))
-    return "\n".join(lines)
+    steps.append(ProvenanceStep(
+        rule="algorithm-2.global", subject=udt.name, verdict=refined.value,
+        detail=f"global (Algorithms 2-4): {refined.value}", phase=phase))
+    steps.extend(_global_steps(udt, classifier, phase))
+    steps.append(ProvenanceStep(
+        rule="verdict", subject=udt.name, verdict=refined.value,
+        detail=f"verdict: {refined.value}"
+               + (" (decomposable)" if refined.decomposable
+                  else " (kept in object form)"),
+        phase=phase))
+    return Provenance(udt=udt.name, verdict=refined,
+                      decomposable=refined.decomposable,
+                      steps=tuple(steps), phase=phase)
 
 
-def _explain_local(udt: DataType, indent: str) -> list[str]:
+def explain_phases(udt: DataType, phases: tuple[Phase, ...],
+                   materialized_fields: tuple[Field, ...] = ()
+                   ) -> tuple[Provenance, ...]:
+    """One provenance chain per phase, mirroring §3.4's phased refinement.
+
+    Every step carries its phase name; phases reading materialized data
+    record which earlier phase vouched for the *materialized_fields*.
+    """
+    classifier = PhasedClassifier(phases)
+    return tuple(
+        explain_provenance(
+            udt, phase.callgraph,
+            assume_init_only=(materialized_fields
+                              if phase.reads_materialized else ()),
+            phase=phase.name,
+            assumption_source=classifier.assumption_source(index))
+        for index, phase in enumerate(phases))
+
+
+def _local_steps(udt: DataType, phase: str | None) -> list[ProvenanceStep]:
     classifier = LocalClassifier()
-    lines: list[str] = []
+    steps: list[ProvenanceStep] = []
     if isinstance(udt, ClassType):
         for field in udt.fields:
             verdict = classifier._analyze_field(field)
@@ -72,20 +216,30 @@ def _explain_local(udt: DataType, indent: str) -> list[str]:
                 if inner is SizeType.RUNTIME_FIXED:
                     note = (" (non-final field holding RFSTs: "
                             "reassignment could change the data-size)")
-            lines.append(f"{indent}{modifier} {field.name}: {types} "
-                         f"-> {verdict.value}{note}")
+            steps.append(ProvenanceStep(
+                rule="algorithm-1.field",
+                subject=f"{udt.name}.{field.name}",
+                verdict=verdict.value,
+                detail=f"{modifier} {field.name}: {types} "
+                       f"-> {verdict.value}{note}",
+                phase=phase))
     elif isinstance(udt, ArrayType):
         element = classifier._analyze_field(udt.element_field)
-        lines.append(f"{indent}element: {element.value} "
-                     "(arrays of SFST elements are RFSTs; "
-                     "anything else makes the array a VST)")
-    return lines
+        steps.append(ProvenanceStep(
+            rule="algorithm-1.element", subject=udt.name,
+            verdict=element.value,
+            detail=f"element: {element.value} "
+                   "(arrays of SFST elements are RFSTs; "
+                   "anything else makes the array a VST)",
+            phase=phase))
+    return steps
 
 
-def _explain_global(udt: DataType, classifier: GlobalClassifier,
-                    indent: str) -> list[str]:
-    lines: list[str] = []
+def _global_steps(udt: DataType, classifier: GlobalClassifier,
+                  phase: str | None) -> list[ProvenanceStep]:
+    steps: list[ProvenanceStep] = []
     seen: set[int] = set()
+    source = classifier.assumption_source
 
     def visit(node: DataType) -> None:
         if isinstance(node, PrimitiveType) or id(node) in seen:
@@ -99,19 +253,37 @@ def _explain_global(udt: DataType, classifier: GlobalClassifier,
                 shown = (f"= {length.constant_value:g}"
                          if isinstance(length, Affine)
                          and length.is_constant else f"= {length}")
-                lines.append(f"{indent}{node.name}: fixed-length "
-                             f"({len(sites)} allocation site(s), length "
-                             f"{shown})")
+                steps.append(ProvenanceStep(
+                    rule="algorithm-3.fixed-length", subject=node.name,
+                    verdict="fixed-length",
+                    detail=f"{node.name}: fixed-length "
+                           f"({len(sites)} allocation site(s), length "
+                           f"{shown})",
+                    phase=phase))
             elif fixed:
-                lines.append(f"{indent}{node.name}: fixed-length "
-                             "(vouched for by an outer phase)")
+                vouched = (f"vouched for by phase {source!r}"
+                           if source is not None
+                           else "vouched for by an outer phase")
+                steps.append(ProvenanceStep(
+                    rule="algorithm-3.fixed-length", subject=node.name,
+                    verdict="fixed-length-assumed",
+                    detail=f"{node.name}: fixed-length ({vouched})",
+                    phase=phase))
             elif not sites:
-                lines.append(f"{indent}{node.name}: no allocation sites "
-                             "in scope -> not provably fixed-length")
+                steps.append(ProvenanceStep(
+                    rule="algorithm-3.fixed-length", subject=node.name,
+                    verdict="unknown-length",
+                    detail=f"{node.name}: no allocation sites "
+                           "in scope -> not provably fixed-length",
+                    phase=phase))
             else:
-                lines.append(f"{indent}{node.name}: {len(sites)} "
-                             "allocation site(s) with differing lengths "
-                             "-> variable")
+                steps.append(ProvenanceStep(
+                    rule="algorithm-3.fixed-length", subject=node.name,
+                    verdict="variable-length",
+                    detail=f"{node.name}: {len(sites)} "
+                           "allocation site(s) with differing lengths "
+                           "-> variable",
+                    phase=phase))
             for runtime in node.element_field.get_type_set():
                 visit(runtime)
         elif isinstance(node, ClassType):
@@ -121,15 +293,33 @@ def _explain_global(udt: DataType, classifier: GlobalClassifier,
                     and not classifier.srefine(t)
                     for t in field.get_type_set())
                 if holds_non_sfst:
-                    init_only = classifier.is_init_only(field)
-                    lines.append(
-                        f"{indent}{node.name}.{field.name}: "
-                        + ("init-only (assigned once per object)"
-                           if init_only else
-                           "NOT init-only (reassignment possible) "
-                           "-> blocks RFST refinement"))
+                    subject = f"{node.name}.{field.name}"
+                    if classifier.is_assumed_init_only(field):
+                        vouched = (f"vouched for by phase {source!r}"
+                                   if source is not None
+                                   else "vouched for by an outer phase")
+                        steps.append(ProvenanceStep(
+                            rule="algorithm-4.init-only", subject=subject,
+                            verdict="init-only-assumed",
+                            detail=f"{subject}: init-only ({vouched})",
+                            phase=phase))
+                    elif classifier.is_init_only(field):
+                        steps.append(ProvenanceStep(
+                            rule="algorithm-4.init-only", subject=subject,
+                            verdict="init-only",
+                            detail=f"{subject}: init-only "
+                                   "(assigned once per object)",
+                            phase=phase))
+                    else:
+                        steps.append(ProvenanceStep(
+                            rule="algorithm-4.init-only", subject=subject,
+                            verdict="not-init-only",
+                            detail=f"{subject}: NOT init-only "
+                                   "(reassignment possible) "
+                                   "-> blocks RFST refinement",
+                            phase=phase))
                 for runtime in field.get_type_set():
                     visit(runtime)
 
     visit(udt)
-    return lines
+    return steps

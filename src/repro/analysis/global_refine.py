@@ -18,10 +18,12 @@ its dependency graph is fixed-length with SFST elements; ``RRefine``
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from .callgraph import CallGraph
 from .local import LocalClassifier
 from .size_type import SizeType
-from .symconst import Affine
+from .symconst import Affine, AllocationSite
 from .udt import ArrayType, ClassType, DataType, Field, PrimitiveType
 
 
@@ -30,13 +32,17 @@ class GlobalClassifier:
 
     *assume_fixed_length* lists array types known to be fixed-length from
     facts outside this scope — the phased refinement (§3.4) uses it for
-    arrays materialized by an earlier phase.
+    arrays materialized by an earlier phase.  *assumption_source* names
+    the phase those assumptions came from, so explanations and lint
+    findings can say *which* phase vouched for them.
     """
 
     def __init__(self, callgraph: CallGraph,
                  assume_fixed_length: tuple[ArrayType, ...] = (),
-                 assume_init_only: tuple[Field, ...] = ()) -> None:
+                 assume_init_only: tuple[Field, ...] = (),
+                 assumption_source: str | None = None) -> None:
         self.callgraph = callgraph
+        self.assumption_source = assumption_source
         self._assumed_fixed = {id(t) for t in assume_fixed_length}
         self._assumed_init_only = {id(f) for f in assume_init_only}
         self._local = LocalClassifier()
@@ -164,7 +170,7 @@ class GlobalClassifier:
         return self._equal_lengths(sites)
 
     @staticmethod
-    def _equal_lengths(sites) -> bool:
+    def _equal_lengths(sites: Sequence[AllocationSite]) -> bool:
         first = sites[0].length
         if not isinstance(first, Affine):
             return False
@@ -175,6 +181,16 @@ class GlobalClassifier:
         if id(field) in self._assumed_init_only:
             return True
         return self.callgraph.is_init_only(field)
+
+    def is_assumed_init_only(self, field: Field) -> bool:
+        """Whether *field*'s init-only status rests on an outer phase's
+        assumption rather than this scope's own code analysis."""
+        return id(field) in self._assumed_init_only
+
+    def is_assumed_fixed_length(self, array_type: ArrayType) -> bool:
+        """Whether *array_type*'s fixed length is vouched for from outside
+        this scope (no in-scope allocation-site proof)."""
+        return id(array_type) in self._assumed_fixed
 
 
 def _fields_of(target: DataType) -> tuple[Field, ...]:

@@ -23,7 +23,7 @@ iteration, which is all the paper's refinements require.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Union
+from typing import Iterator, Sequence, Union
 
 from ..errors import IRError
 from .udt import ArrayType, ClassType, Field
@@ -233,7 +233,7 @@ class Method:
     __hash__ = object.__hash__
 
 
-def statements_recursive(body: Sequence[Stmt]):
+def statements_recursive(body: Sequence[Stmt]) -> Iterator[Stmt]:
     """Yield every statement in *body*, descending into If/Loop blocks."""
     for stmt in body:
         yield stmt

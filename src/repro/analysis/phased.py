@@ -54,7 +54,9 @@ class PhaseReport:
         for name, size_type in self.by_phase:
             if name == phase_name:
                 return size_type
-        raise KeyError(phase_name)
+        known = ", ".join(name for name, _ in self.by_phase)
+        raise KeyError(f"no phase {phase_name!r} "
+                       f"(phases of this report: {known})")
 
     @property
     def ever_decomposable(self) -> bool:
@@ -68,6 +70,30 @@ class PhasedClassifier:
     def __init__(self, phases: tuple[Phase, ...]) -> None:
         self.phases = phases
 
+    def assumption_source(self, index: int) -> str | None:
+        """The phase whose materialized output phase *index* reads.
+
+        That is the phase vouching for the ``materialized_fields``
+        assumptions — the nearest earlier phase, per Fig. 5's template of
+        phases bridged by data collectors.
+        """
+        phase = self.phases[index]
+        if not phase.reads_materialized or index == 0:
+            return None
+        return self.phases[index - 1].name
+
+    def classifier_for(self, index: int,
+                       materialized_fields: tuple[Field, ...] = ()
+                       ) -> GlobalClassifier:
+        """The global classifier phase *index* runs, assumptions included."""
+        phase = self.phases[index]
+        if phase.reads_materialized:
+            return GlobalClassifier(
+                phase.callgraph,
+                assume_init_only=materialized_fields,
+                assumption_source=self.assumption_source(index))
+        return GlobalClassifier(phase.callgraph)
+
     def classify(self, udt: DataType,
                  materialized_fields: tuple[Field, ...] = ()) -> PhaseReport:
         """Classify *udt* in every phase.
@@ -79,15 +105,10 @@ class PhasedClassifier:
         """
         local = classify_locally(udt)
         results: list[tuple[str, SizeType]] = []
-        for phase in self.phases:
+        for index, phase in enumerate(self.phases):
             if local is SizeType.RECURSIVELY_DEFINED:
                 results.append((phase.name, local))
                 continue
-            if phase.reads_materialized:
-                classifier = GlobalClassifier(
-                    phase.callgraph,
-                    assume_init_only=materialized_fields)
-            else:
-                classifier = GlobalClassifier(phase.callgraph)
+            classifier = self.classifier_for(index, materialized_fields)
             results.append((phase.name, classifier.classify(udt)))
         return PhaseReport(udt=udt, local=local, by_phase=tuple(results))

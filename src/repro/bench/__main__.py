@@ -100,6 +100,27 @@ def main(argv: list[str] | None = None) -> int:
     ft.add_argument("--json", metavar="NAME",
                     help="also write benchmarks/results/<NAME>.json")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run deca-lint: static rules + shadow validation per app")
+    lint.add_argument("--apps", nargs="*", default=["all"], metavar="APP",
+                      help="app names from the lint registry "
+                           "(default: all)")
+    lint.add_argument("--format", default="text",
+                      choices=["text", "json", "sarif"],
+                      help="output format printed to stdout")
+    lint.add_argument("--out", metavar="NAME",
+                      help="also write benchmarks/results/<NAME>.json "
+                           "(the canonical payload, baseline-comparable)")
+    lint.add_argument("--baseline", metavar="PATH",
+                      help="fail if findings appear that this baseline "
+                           "payload does not contain")
+    lint.add_argument("--write-baseline", metavar="PATH",
+                      help="write the canonical payload to PATH and exit")
+    lint.add_argument("--no-shadow", action="store_true",
+                      help="skip the instrumented shadow runs "
+                           "(static rules only)")
+
     tr = sub.add_parser(
         "trace",
         help="instrumented WordCount writing a Chrome trace artifact")
@@ -114,6 +135,8 @@ def main(argv: list[str] | None = None) -> int:
                     help="trace artifact name under benchmarks/results/")
 
     args = parser.parse_args(argv)
+    if args.app == "lint":
+        return _run_lint(args)
     if args.app == "trace":
         return _run_trace(args)
     modes = _modes(args.modes)
@@ -158,6 +181,63 @@ def main(argv: list[str] | None = None) -> int:
             path = write_json_result(args.json, rows_as_json(rows))
             print(f"wrote {path}")
     return 0
+
+
+def _run_lint(args) -> int:
+    """The ``lint`` subcommand: rules + shadow validation + baseline."""
+    import json
+    import os
+
+    from ..lint import (
+        baseline_diff,
+        render_text,
+        report_payload,
+        run_lint,
+        serialize,
+        to_sarif,
+    )
+
+    try:
+        report = run_lint(args.apps, shadow=not args.no_shadow)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]))
+    payload = report_payload(report)
+
+    if args.write_baseline:
+        os.makedirs(os.path.dirname(os.path.abspath(args.write_baseline)),
+                    exist_ok=True)
+        with open(args.write_baseline, "w", encoding="utf-8") as handle:
+            handle.write(serialize(payload))
+        print(f"wrote baseline {args.write_baseline}")
+        return 0
+
+    if args.format == "json":
+        print(serialize(payload), end="")
+    elif args.format == "sarif":
+        print(serialize(to_sarif(report)), end="")
+    else:
+        print(render_text(report))
+
+    if args.out:
+        path = write_json_result(args.out, payload)
+        print(f"wrote {path}", file=sys.stderr)
+
+    status = 0
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        new_findings = baseline_diff(payload, baseline)
+        if new_findings:
+            print(f"{len(new_findings)} finding(s) not in baseline "
+                  f"{args.baseline}:", file=sys.stderr)
+            for identity in new_findings:
+                print(f"  {identity}", file=sys.stderr)
+            status = 1
+    if report.has_errors:
+        print("deca-lint: error-severity findings present",
+              file=sys.stderr)
+        status = 1
+    return status
 
 
 def _run_trace(args) -> int:

@@ -50,6 +50,19 @@ class PlanReport:
     decomposed: bool
     reason: str
 
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-serializable form (used by ``repro.lint`` summaries)."""
+        return {
+            "target": self.target,
+            "udt": self.udt,
+            "local": (self.local_size_type.value
+                      if self.local_size_type else None),
+            "global": (self.global_size_type.value
+                       if self.global_size_type else None),
+            "decomposed": self.decomposed,
+            "reason": self.reason,
+        }
+
 
 class DecaOptimizer:
     """Plans cache and shuffle storage for a context in DECA mode."""

@@ -1,0 +1,71 @@
+"""deca-lint: diagnostics and soundness verification for the analysis.
+
+Two layers over the Deca lifetime analysis (see ``docs/static_analysis.md``):
+
+* **static rules** (``DECA001``–``DECA007``) — walk the UDT models, method
+  IR, call graphs, symbolized-constant facts and optimizer plans, flagging
+  patterns that force object form or undermine the analysis' assumptions;
+* **shadow validation** (``DECA101``/``DECA102``) — instrument the runtime
+  during a real DECA-mode run and differentially compare observed record
+  sizes and accessor writes against the static classification.
+
+Entry points: :func:`run_lint` (library) and ``python -m repro.bench lint``
+(CLI, with text/JSON/SARIF output and a committed baseline checked in CI).
+"""
+
+from .engine import AppLintResult, LintReport, lint_app, run_lint
+from .findings import (
+    Finding,
+    Rule,
+    RULES,
+    RULES_BY_ID,
+    Severity,
+    make_finding,
+    sort_findings,
+)
+from .output import (
+    baseline_diff,
+    render_text,
+    report_payload,
+    serialize,
+    to_sarif,
+)
+from .rules import LintTarget, run_plan_rules, run_static_rules
+from .shadow import (
+    PageAppend,
+    ShadowRecorder,
+    check_imprecision,
+    check_observations,
+    shadow_summary,
+)
+from .targets import LINT_APPS, LINT_APPS_BY_NAME, LintApp
+
+__all__ = [
+    "AppLintResult",
+    "Finding",
+    "LINT_APPS",
+    "LINT_APPS_BY_NAME",
+    "LintApp",
+    "LintReport",
+    "LintTarget",
+    "PageAppend",
+    "RULES",
+    "RULES_BY_ID",
+    "Rule",
+    "Severity",
+    "ShadowRecorder",
+    "baseline_diff",
+    "check_imprecision",
+    "check_observations",
+    "lint_app",
+    "make_finding",
+    "render_text",
+    "report_payload",
+    "run_lint",
+    "run_plan_rules",
+    "run_static_rules",
+    "serialize",
+    "shadow_summary",
+    "sort_findings",
+    "to_sarif",
+]

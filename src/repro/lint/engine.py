@@ -1,0 +1,95 @@
+"""The lint driver: static rules + shadow validation, per application.
+
+``lint_app`` audits one registered application: it runs every static rule
+over the app's targets, then (unless disabled) executes the app's shadow
+run with the runtime instrumented, checks the optimizer's decomposition
+plans and the observed memory behaviour, and folds everything into one
+deterministic :class:`AppLintResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .findings import Finding, Severity, sort_findings
+from .rules import run_plan_rules, run_static_rules
+from .shadow import (
+    ShadowRecorder,
+    check_imprecision,
+    check_observations,
+    shadow_summary,
+)
+from .targets import LINT_APPS, LINT_APPS_BY_NAME, LintApp
+
+
+@dataclass(frozen=True)
+class AppLintResult:
+    """Everything the linter concluded about one application."""
+
+    app: str
+    title: str
+    findings: tuple[Finding, ...]
+    summary: dict[str, object]
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for f in self.findings if f.severity is severity)
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All per-app results of one lint run."""
+
+    apps: tuple[AppLintResult, ...]
+
+    def all_findings(self) -> tuple[Finding, ...]:
+        return tuple(f for result in self.apps for f in result.findings)
+
+    def count(self, severity: Severity) -> int:
+        return sum(result.count(severity) for result in self.apps)
+
+    @property
+    def has_errors(self) -> bool:
+        return self.count(Severity.ERROR) > 0
+
+
+def lint_app(app: LintApp, shadow: bool = True) -> AppLintResult:
+    """Audit one application; *shadow* disables the instrumented run."""
+    targets = app.make_targets()
+    findings: list[Finding] = []
+    for target in targets:
+        findings.extend(run_static_rules(target))
+
+    summary: dict[str, object] = {"shadow": shadow}
+    if shadow:
+        with ShadowRecorder() as recorder:
+            ctx = app.shadow_run()
+        optimizer = ctx._optimizer
+        reports = tuple(optimizer.reports) if optimizer is not None else ()
+        findings.extend(run_plan_rules(app.name, reports, targets))
+        findings.extend(check_observations(app.name, recorder, reports))
+        findings.extend(check_imprecision(app.name, ctx, reports))
+        summary.update(shadow_summary(recorder, reports))
+
+    return AppLintResult(app=app.name, title=app.title,
+                         findings=sort_findings(findings),
+                         summary=summary)
+
+
+def resolve_apps(names: list[str]) -> tuple[LintApp, ...]:
+    """Turn CLI app names into registry entries (``all`` = every app)."""
+    if not names or names == ["all"]:
+        return LINT_APPS
+    apps = []
+    for name in names:
+        app = LINT_APPS_BY_NAME.get(name)
+        if app is None:
+            known = ", ".join(sorted(LINT_APPS_BY_NAME))
+            raise KeyError(f"unknown lint app {name!r} (known: {known})")
+        apps.append(app)
+    return tuple(apps)
+
+
+def run_lint(names: list[str], shadow: bool = True) -> LintReport:
+    """Lint the named applications (``all``/empty = the full registry)."""
+    return LintReport(apps=tuple(lint_app(app, shadow=shadow)
+                                 for app in resolve_apps(names)))

@@ -1,0 +1,141 @@
+"""Structured lint findings and the deca-lint rule catalogue.
+
+Every diagnostic the linter can emit has a stable rule id.  ``DECA0xx``
+rules are *static*: they fire from the UDT model, method IR, call graph,
+symbolized-constant facts and the optimizer's decomposition plans.
+``DECA1xx`` rules are *differential*: the shadow validator compares what
+the runtime actually did (record sizes, SUDT writes) against what the
+static classification promised, reporting soundness violations and
+imprecision.
+
+A :class:`Finding` is deterministic and JSON-round-trippable; its ``why``
+chain carries the provenance steps of the classification that led to the
+verdict (see :mod:`repro.analysis.explain`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class Severity(enum.Enum):
+    """Finding severity; the values double as SARIF levels."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+    @property
+    def rank(self) -> int:
+        """Sort rank: errors first."""
+        return _SEVERITY_RANK[self.value]
+
+
+_SEVERITY_RANK = {"error": 0, "warning": 1, "note": 2}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One catalogue entry: stable id, default severity, paper anchor."""
+
+    rule_id: str
+    name: str
+    severity: Severity
+    summary: str
+    paper: str
+
+
+RULES: tuple[Rule, ...] = (
+    Rule("DECA001", "mutable-field-blocks-refinement", Severity.WARNING,
+         "A non-final field holding runtime-fixed types is reassigned in "
+         "scope; the reassignment forces the variable-sized verdict and "
+         "keeps the type in object form", "§3.1/§3.3"),
+    Rule("DECA002", "phase-boundary-escape", Severity.ERROR,
+         "A field vouched init-only by an earlier phase is assigned by "
+         "the current phase's own code — the reference escapes the phase "
+         "boundary and the assumption is unsound", "§3.4"),
+    Rule("DECA003", "recursive-type-set", Severity.WARNING,
+         "The UDT's type dependency graph is cyclic; a recursively-"
+         "defined type can never be decomposed", "§3.1"),
+    Rule("DECA004", "unproven-symbolic-length", Severity.WARNING,
+         "A fixed-length array proof rests on symbolic constants with no "
+         "runtime binding; the hybrid optimizer cannot inline the array "
+         "and falls back to a length-prefixed layout", "§3.3/App. A"),
+    Rule("DECA005", "plan-contradicts-classification", Severity.ERROR,
+         "The optimizer decomposed a container although the (phased) "
+         "classification says its records are not safely decomposable "
+         "there", "§3.4/§4.3"),
+    Rule("DECA006", "unanalyzed-container-type", Severity.NOTE,
+         "A cache/shuffle container holds records the analysis never "
+         "saw (no UDT declared); they stay in object form", "§5"),
+    Rule("DECA007", "element-field-init-only-assumption", Severity.ERROR,
+         "An array element field is assumed init-only; element fields "
+         "never qualify (§3.3 rule 2), so the assumption is unsound",
+         "§3.3"),
+    Rule("DECA101", "shadow-soundness-violation", Severity.ERROR,
+         "The runtime resized records of a container the static analysis "
+         "declared fixed-size (SFST/RFST)", "§3.1"),
+    Rule("DECA102", "shadow-imprecision", Severity.NOTE,
+         "The static analysis kept a container in object form although "
+         "every observed record had the same data-size", "§3.1"),
+)
+
+RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in RULES}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: rule, severity, where, what, and why."""
+
+    rule_id: str
+    severity: Severity
+    target: str
+    subject: str
+    message: str
+    location: str = ""
+    why: tuple[str, ...] = ()
+
+    def sort_key(self) -> tuple[int, str, str, str, str]:
+        return (self.severity.rank, self.rule_id, self.target,
+                self.subject, self.message)
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "target": self.target,
+            "subject": self.subject,
+            "message": self.message,
+        }
+        if self.location:
+            data["location"] = self.location
+        if self.why:
+            data["why"] = list(self.why)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Finding":
+        return cls(rule_id=data["rule"],
+                   severity=Severity(data["severity"]),
+                   target=data["target"],
+                   subject=data["subject"],
+                   message=data["message"],
+                   location=data.get("location", ""),
+                   why=tuple(data.get("why", ())))
+
+
+def make_finding(rule_id: str, target: str, subject: str, message: str,
+                 *, location: str = "",
+                 why: tuple[str, ...] = ()) -> Finding:
+    """Build a finding with the rule's default severity."""
+    rule = RULES_BY_ID[rule_id]
+    return Finding(rule_id=rule_id, severity=rule.severity, target=target,
+                   subject=subject, message=message, location=location,
+                   why=why)
+
+
+def sort_findings(findings: list[Finding]) -> tuple[Finding, ...]:
+    """Deterministic order: severity, then rule id, target, subject."""
+    return tuple(sorted(findings, key=Finding.sort_key))

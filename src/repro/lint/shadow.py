@@ -1,0 +1,214 @@
+"""The shadow validator: differential checking of the lifetime analysis.
+
+The static analysis makes two kinds of promise (§3.1): a *soundness*
+promise — records in decomposed containers never change data-size — and a
+*precision* aspiration — object-form fallbacks happen only when sizes can
+really vary.  The shadow validator instruments the runtime (page-group
+appends via :mod:`repro.memory.page`, accessor writes via
+:mod:`repro.memory.sudt`), records what actually happened during a real
+run, and compares it against the optimizer's decomposition claims:
+
+* ``DECA101`` (soundness) — a container the analysis declared SFST shows
+  records of differing sizes, or any accessor attempted to resize a
+  decomposed record/array;
+* ``DECA102`` (imprecision) — a cache kept in object form as a VST, where
+  every observed instance nevertheless had the same data-size.
+
+Observer lists are empty in normal runs, so the instrumented hot paths
+pay one truthiness check each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..analysis.size_type import SizeType
+from ..core.optimizer import PlanReport
+from ..memory import page as page_module
+from ..memory import sudt as sudt_module
+from ..memory.page import PageGroup
+from ..memory.sudt import SudtMutation
+from .findings import Finding, make_finding
+
+if TYPE_CHECKING:
+    from ..spark.context import DecaContext
+
+# DECA102 samples at most this many records per cached dataset; measuring
+# every object of a large cache would dwarf the run under validation.
+IMPRECISION_SAMPLE = 64
+
+
+@dataclass(frozen=True)
+class PageAppend:
+    """One record packed into a page group."""
+
+    group: str
+    schema: str
+    size: int
+
+
+class ShadowRecorder:
+    """Context manager that records runtime memory behaviour.
+
+    While active, every ``PageGroup.append_record`` and every SUDT
+    accessor write anywhere in the process is appended to this recorder.
+    """
+
+    def __init__(self) -> None:
+        self.appends: list[PageAppend] = []
+        self.mutations: list[SudtMutation] = []
+
+    # -- observer callbacks -------------------------------------------------
+    def _on_record(self, group: PageGroup, schema: str, size: int) -> None:
+        self.appends.append(PageAppend(group=group.name, schema=schema,
+                                       size=size))
+
+    def _on_mutation(self, event: SudtMutation) -> None:
+        self.mutations.append(event)
+
+    # -- context management -------------------------------------------------
+    def __enter__(self) -> "ShadowRecorder":
+        page_module.add_record_observer(self._on_record)
+        sudt_module.add_mutation_observer(self._on_mutation)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        page_module.remove_record_observer(self._on_record)
+        sudt_module.remove_mutation_observer(self._on_mutation)
+
+    # -- derived views ------------------------------------------------------
+    def sizes_by_schema(self) -> dict[str, list[int]]:
+        """Observed record sizes grouped by schema label."""
+        sizes: dict[str, list[int]] = {}
+        for append in self.appends:
+            sizes.setdefault(append.schema, []).append(append.size)
+        return sizes
+
+    def resize_attempts(self) -> list[SudtMutation]:
+        return [m for m in self.mutations if m.is_resize]
+
+
+def check_observations(app: str, recorder: ShadowRecorder,
+                       reports: tuple[PlanReport, ...]) -> list[Finding]:
+    """``DECA101``: observed behaviour vs. the static claims.
+
+    Page-group record labels are schema names, and a schema's name is the
+    UDT's name (:func:`repro.memory.layout.build_schema`), so observations
+    join against plan reports by UDT name.
+    """
+    findings: list[Finding] = []
+    claims: dict[str, SizeType] = {}
+    for report in reports:
+        if report.decomposed and report.udt \
+                and report.global_size_type is not None:
+            claims[report.udt] = report.global_size_type
+
+    for schema, sizes in sorted(recorder.sizes_by_schema().items()):
+        claim = claims.get(schema)
+        if claim is not SizeType.STATIC_FIXED:
+            continue  # RFSTs may legally differ per record
+        distinct = sorted(set(sizes))
+        if len(distinct) <= 1:
+            continue
+        findings.append(make_finding(
+            "DECA101", f"{app}/shadow", schema,
+            f"static analysis classified {schema} as SFST (every instance "
+            f"the same size), but the runtime packed records of "
+            f"{len(distinct)} distinct sizes "
+            f"({distinct[0]}..{distinct[-1]} bytes) into its pages",
+            why=(f"[shadow.pages] {len(sizes)} records observed with "
+                 f"sizes {distinct}",)))
+
+    seen: set[tuple[str, str, int, int]] = set()
+    for mutation in recorder.resize_attempts():
+        key = (mutation.schema, mutation.kind, mutation.old_size,
+               mutation.new_size)
+        if key in seen:
+            continue
+        seen.add(key)
+        findings.append(make_finding(
+            "DECA101", f"{app}/shadow", mutation.schema,
+            f"runtime attempted a {mutation.kind} on decomposed data "
+            f"({mutation.old_size} -> {mutation.new_size}); a decomposed "
+            "record's data-size must never change after construction "
+            "(§3.1)",
+            why=(f"[shadow.sudt] {mutation.kind} intercepted by the "
+                 "accessor layer",)))
+    return findings
+
+
+def check_imprecision(app: str, ctx: "DecaContext",
+                      reports: tuple[PlanReport, ...]) -> list[Finding]:
+    """``DECA102``: object-form caches whose instances never varied.
+
+    Not a bug — the analysis is conservative by design — but each note is
+    a concrete precision gap worth a look (e.g. a missing init-only
+    assumption or runtime symbol binding).
+    """
+    object_form: dict[str, PlanReport] = {}
+    for report in reports:
+        if report.target.startswith("cache:") and report.udt \
+                and not report.decomposed \
+                and report.global_size_type is SizeType.VARIABLE:
+            object_form[report.target] = report
+
+    sizes_by_rdd: dict[str, set[int]] = {}
+    counts_by_rdd: dict[str, int] = {}
+    for executor in ctx.executors:
+        for key, block in executor.cache.blocks.items():
+            if block.records is None:
+                continue
+            rdd = ctx._rdds.get(key[0])
+            if rdd is None or rdd.udt_info is None:
+                continue
+            if f"cache:{rdd.name}" not in object_form:
+                continue
+            info = rdd.udt_info
+            sizes = sizes_by_rdd.setdefault(rdd.name, set())
+            count = counts_by_rdd.get(rdd.name, 0)
+            for record in block.records:
+                if count >= IMPRECISION_SAMPLE:
+                    break
+                sizes.add(info.measure(record).data_bytes)
+                count += 1
+            counts_by_rdd[rdd.name] = count
+
+    findings: list[Finding] = []
+    for name in sorted(sizes_by_rdd):
+        sizes = sizes_by_rdd[name]
+        count = counts_by_rdd[name]
+        if count < 2 or len(sizes) != 1:
+            continue
+        (size,) = sizes
+        report = object_form[f"cache:{name}"]
+        findings.append(make_finding(
+            "DECA102", f"{app}/cache:{name}", report.udt or name,
+            f"cache {name!r} stayed in object form (classified "
+            f"variable-sized), yet all {count} sampled records measured "
+            f"exactly {size} data bytes — the classification may be "
+            "imprecise for this workload",
+            why=(f"[shadow.cache] {count} records sampled, one distinct "
+                 f"data-size ({size} B)",
+                 f"[optimizer.plan] {report.reason}")))
+    return findings
+
+
+def shadow_summary(recorder: ShadowRecorder,
+                   reports: tuple[PlanReport, ...]) -> dict[str, object]:
+    """Integer-only observation summary (safe for byte-stable baselines)."""
+    schemas: dict[str, dict[str, int]] = {}
+    for schema, sizes in sorted(recorder.sizes_by_schema().items()):
+        schemas[schema] = {
+            "records": len(sizes),
+            "min_bytes": min(sizes),
+            "max_bytes": max(sizes),
+        }
+    return {
+        "page_records": len(recorder.appends),
+        "schemas": schemas,
+        "sudt_writes": sum(1 for m in recorder.mutations
+                           if not m.is_resize),
+        "resize_attempts": len(recorder.resize_attempts()),
+        "plans": [report.to_dict() for report in reports],
+    }

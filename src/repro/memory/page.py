@@ -31,6 +31,24 @@ from ..jvm.objects import AllocationGroup, Lifetime
 from ..jvm.sizing import array_bytes
 from .layout import Schema
 
+# -- shadow-validation hooks ------------------------------------------------
+# ``repro.lint``'s shadow validator registers an observer here to record
+# every record appended to any page group (group name, schema label, packed
+# byte size).  The list is empty in normal runs, so the hot path pays one
+# truthiness check.
+RecordObserver = Callable[["PageGroup", str, int], None]
+_record_observers: list[RecordObserver] = []
+
+
+def add_record_observer(observer: RecordObserver) -> None:
+    """Register *observer* to be called on every ``append_record``."""
+    _record_observers.append(observer)
+
+
+def remove_record_observer(observer: RecordObserver) -> None:
+    """Unregister a previously added record observer."""
+    _record_observers.remove(observer)
+
 
 class Page:
     """One fixed-size byte array."""
@@ -146,6 +164,10 @@ class PageGroup:
         size = schema.size_of(value)
         page, offset = self.reserve(size)
         schema.pack_into(page.data, offset, value)
+        if _record_observers:
+            label = getattr(schema, "name", type(schema).__name__)
+            for observer in list(_record_observers):
+                observer(self, label, size)
         return PagePointer(page.index, offset, size)
 
     def _new_page(self, nbytes: int) -> Page:

@@ -1,5 +1,7 @@
 """Tests for the classification explainer."""
 
+import pytest
+
 from repro.analysis import (
     ArrayType,
     CallGraph,
@@ -7,8 +9,14 @@ from repro.analysis import (
     DOUBLE,
     Field,
     INT,
+    Phase,
+    SizeType,
     explain_classification,
+    explain_phases,
+    explain_provenance,
+    render_provenance,
 )
+from repro.analysis.phased import PhasedClassifier
 from repro.apps.udts import (
     make_graph_model,
     make_labeled_point_model,
@@ -73,3 +81,59 @@ class TestExplainGlobal:
         m = make_labeled_point_model()
         text = explain_classification(m.labeled_point)
         assert "global refinement unavailable" in text
+
+
+class TestProvenance:
+    def test_provenance_steps_carry_stable_rule_ids(self):
+        m = make_labeled_point_model(dimensions=10)
+        cg = CallGraph.build(m.stage_entry, known_types=(m.labeled_point,))
+        prov = explain_provenance(m.labeled_point, cg)
+        assert prov.verdict is SizeType.STATIC_FIXED
+        assert prov.decomposable
+        rules = prov.rules_fired()
+        assert "algorithm-1.local" in rules
+        assert "algorithm-2.global" in rules
+        assert "algorithm-3.fixed-length" in rules
+        assert "verdict" in rules
+
+    def test_provenance_to_dict_is_machine_readable(self):
+        m = make_labeled_point_model(dimensions=10)
+        cg = CallGraph.build(m.stage_entry, known_types=(m.labeled_point,))
+        prov = explain_provenance(m.labeled_point, cg)
+        data = prov.to_dict()
+        assert data["udt"] == "LabeledPoint"
+        assert data["verdict"] == "static-fixed"
+        assert data["decomposable"] is True
+        assert all({"rule", "subject", "verdict"} <= set(step)
+                   for step in data["steps"])
+
+    def test_render_provenance_matches_explain_classification(self):
+        m = make_labeled_point_model(dimensions=10)
+        cg = CallGraph.build(m.stage_entry, known_types=(m.labeled_point,))
+        assert render_provenance(explain_provenance(m.labeled_point, cg)) \
+            == explain_classification(m.labeled_point, cg)
+
+    def test_assumption_source_names_the_vouching_phase(self):
+        gm = make_graph_model()
+        known = (gm.adjacency,)
+        phases = (
+            Phase("build", CallGraph.build(gm.build_stage_entry,
+                                           known_types=known)),
+            Phase("iterate", CallGraph.build(gm.iterate_stage_entry,
+                                             known_types=known),
+                  reads_materialized=True),
+        )
+        provs = explain_phases(gm.adjacency, phases,
+                               materialized_fields=(gm.neighbors_field,))
+        assert provs[0].phase == "build"
+        assert provs[1].phase == "iterate"
+        iterate_text = render_provenance(provs[1])
+        assert "vouched for by phase 'build'" in iterate_text
+
+    def test_phase_report_keyerror_lists_known_phases(self):
+        gm = make_graph_model()
+        phases = (Phase("build", CallGraph.build(
+            gm.build_stage_entry, known_types=(gm.adjacency,))),)
+        report = PhasedClassifier(phases).classify(gm.adjacency)
+        with pytest.raises(KeyError, match="build"):
+            report.size_type_in("no-such-phase")

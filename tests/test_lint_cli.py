@@ -1,0 +1,55 @@
+"""End-to-end tests for ``python -m repro.bench lint``."""
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestLintCli:
+    def test_json_format_is_parseable_and_clean(self, capsys):
+        assert main(["lint", "--apps", "lr", "--no-shadow",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "deca-lint"
+        assert [app["app"] for app in payload["apps"]] == ["lr"]
+        assert payload["totals"]["error"] == 0
+
+    def test_text_format_prints_a_summary(self, capsys):
+        assert main(["lint", "--apps", "lr", "--no-shadow"]) == 0
+        out = capsys.readouterr().out
+        assert "deca-lint" in out
+        assert "lr" in out
+
+    def test_sarif_format_is_valid_sarif(self, capsys):
+        assert main(["lint", "--apps", "lr", "--no-shadow",
+                     "--format", "sarif"]) == 0
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+        assert sarif["runs"][0]["tool"]["driver"]["name"] == "deca-lint"
+
+    def test_written_baseline_round_trips(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", "--apps", "wordcount", "--write-baseline",
+                     str(baseline)]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--apps", "wordcount", "--format", "json",
+                     "--baseline", str(baseline)]) == 0
+
+    def test_findings_missing_from_baseline_fail(self, tmp_path, capsys):
+        baseline = tmp_path / "empty.json"
+        baseline.write_text(json.dumps({"apps": []}))
+        # The pr shadow run produces a DECA006 note (the edge shuffle has
+        # no declared UDT), which an empty baseline does not contain.
+        assert main(["lint", "--apps", "pr", "--format", "json",
+                     "--baseline", str(baseline)]) == 1
+        captured = capsys.readouterr()
+        assert "not in baseline" in captured.err
+        assert "DECA006" in captured.err
+
+    def test_unknown_app_name_exits_with_known_names(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "--apps", "nope"])
+        assert "nope" in str(excinfo.value)
+        assert "lr" in str(excinfo.value)
