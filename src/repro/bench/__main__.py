@@ -29,12 +29,14 @@ from ..obs import chrome_trace, utilization_summary
 from .harness import (
     GRAPH_SCALES,
     LR_SIZES,
+    MEMORY_WORKLOADS,
     WC_SIZES,
     fault_recovery_faults,
     run_fault_recovery_point,
     run_graph_point,
     run_kmeans_point,
     run_lr_point,
+    run_memory_point,
     run_trace_point,
     run_wc_point,
 )
@@ -121,6 +123,24 @@ def main(argv: list[str] | None = None) -> int:
                       help="skip the instrumented shadow runs "
                            "(static rules only)")
 
+    mem = sub.add_parser(
+        "memory",
+        help="static vs unified memory-arena ablation "
+             "(docs/memory_model.md)")
+    mem.add_argument("--workloads", nargs="*", metavar="W",
+                     default=list(MEMORY_WORKLOADS),
+                     choices=list(MEMORY_WORKLOADS),
+                     help="shuffle-heavy / cache-heavy (default: both)")
+    mem.add_argument("--memory-modes", nargs="*", metavar="MM",
+                     default=["static", "unified"],
+                     choices=["static", "unified"],
+                     help="arena modes to compare (default: both)")
+    mem.add_argument("--mode", default="spark",
+                     choices=[m.value for m in ExecutionMode],
+                     help="execution mode the workloads run under")
+    mem.add_argument("--json", metavar="NAME",
+                     help="also write benchmarks/results/<NAME>.json")
+
     tr = sub.add_parser(
         "trace",
         help="instrumented WordCount writing a Chrome trace artifact")
@@ -139,6 +159,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_lint(args)
     if args.app == "trace":
         return _run_trace(args)
+    if args.app == "memory":
+        return _run_memory(args)
     modes = _modes(args.modes)
 
     rows = []
@@ -238,6 +260,35 @@ def _run_lint(args) -> int:
               file=sys.stderr)
         status = 1
     return status
+
+
+def _run_memory(args) -> int:
+    """The ``memory`` subcommand: the static-vs-unified arena ablation."""
+    mode = {m.value: m for m in ExecutionMode}[args.mode]
+    rows = []
+    for workload in args.workloads:
+        for memory_mode in args.memory_modes:
+            row = run_memory_point(workload, memory_mode, mode)
+            # Present the arena mode alongside the workload point.
+            rows.append(row)
+    print(rows_as_table("repro.bench memory", rows))
+    print()
+    for row in rows:
+        summary = row.extra["memory"]
+        events = summary["events"]
+        arena = summary["arena"]
+        print(f"[{row.label} {row.extra['memory_mode']}] "
+              f"spills={events.get('shuffle:spill', 0)} "
+              f"merge_spills={events.get('shuffle:merge-spill', 0)} "
+              f"spilled_bytes={summary['spilled_bytes']} "
+              f"swapouts={events.get('cache:swap-out', 0)} "
+              f"borrows={arena.get('borrow_events', 0)} "
+              f"evicts={arena.get('evict_events', 0)} "
+              f"rejects={events.get('memory:reject', 0)}")
+    if args.json:
+        path = write_json_result(args.json, rows_as_json(rows))
+        print(f"wrote {path}")
+    return 0
 
 
 def _run_trace(args) -> int:

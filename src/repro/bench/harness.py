@@ -317,6 +317,93 @@ def run_trace_point(mode: ExecutionMode = ExecutionMode.SPARK,
 
 
 # ---------------------------------------------------------------------------
+# Memory-arena ablation points (static vs unified, docs/memory_model.md)
+# ---------------------------------------------------------------------------
+
+# Workload key -> what regime it stresses.
+MEMORY_WORKLOADS: tuple[str, ...] = ("shuffle-heavy", "cache-heavy")
+
+
+def memory_summary(run: AppRun) -> dict[str, Any]:
+    """Deterministic, integer-only accounting summary of one run.
+
+    Aggregates the ``memory:*`` trace events, the spill/swap events of
+    the legacy planes, and (in unified mode) the per-executor arena
+    counters — the payload the ``repro.bench memory`` determinism job
+    byte-compares across seeded runs.
+    """
+    events: dict[str, int] = {}
+    spilled_bytes = 0
+    swapped_bytes = 0
+    for event in run.ctx.tracer.events:
+        if event.category == "memory":
+            events[event.name] = events.get(event.name, 0) + 1
+        elif event.name in ("shuffle:spill", "shuffle:merge-spill"):
+            events[event.name] = events.get(event.name, 0) + 1
+            spilled_bytes += int(event.args.get("spilled_bytes", 0))
+        elif event.name == "cache:swap-out":
+            events[event.name] = events.get(event.name, 0) + 1
+            swapped_bytes += int(event.args.get("released_bytes", 0))
+    arena: dict[str, int] = {}
+    for executor in run.ctx.executors:
+        snapshot = getattr(executor.arena, "snapshot", None)
+        if snapshot is None:
+            continue
+        for key, value in snapshot().items():
+            arena[key] = arena.get(key, 0) + value
+    return {
+        "events": dict(sorted(events.items())),
+        "spilled_bytes": spilled_bytes,
+        "swapped_cache_bytes": swapped_bytes,
+        "arena": dict(sorted(arena.items())),
+    }
+
+
+def run_memory_point(workload: str, memory_mode: str,
+                     mode: ExecutionMode = ExecutionMode.SPARK,
+                     **config_overrides: Any) -> FigureRow:
+    """One memory-ablation point: a workload under one ``memory_mode``.
+
+    * ``shuffle-heavy`` — WordCount with a shuffle budget far below its
+      buffer population: static mode spills repeatedly, unified mode
+      grows execution grants into the arena instead.
+    * ``cache-heavy`` — the two-job traced WordCount whose cached input
+      exceeds the storage region: unified mode borrows for the cache and
+      then evicts it back when execution demands (borrow + evict
+      events); static mode fail-fast-rejects the oversized blocks.
+    """
+    overrides = dict(config_overrides)
+    overrides["memory_mode"] = memory_mode
+    if workload == "shuffle-heavy":
+        overrides.setdefault("storage_fraction", 0.05)
+        overrides.setdefault("shuffle_fraction", 0.05)
+        row = run_wc_point("100GB", "100M", mode, **overrides)
+    elif workload == "cache-heavy":
+        row = run_trace_point(mode, words=90_000, keys=2_000, **overrides)
+    else:
+        raise ValueError(f"unknown memory workload {workload!r}; "
+                         f"choose from {MEMORY_WORKLOADS}")
+    run: AppRun = row.extra["run"]
+    row.extra["memory_mode"] = memory_mode
+    row.extra["memory"] = memory_summary(run)
+    return row
+
+
+def run_memory_ablation(mode: ExecutionMode = ExecutionMode.SPARK,
+                        **config_overrides: Any
+                        ) -> dict[str, dict[str, FigureRow]]:
+    """Every workload × memory mode (the full static-vs-unified grid)."""
+    grid: dict[str, dict[str, FigureRow]] = {}
+    for workload in MEMORY_WORKLOADS:
+        grid[workload] = {
+            memory_mode: run_memory_point(workload, memory_mode, mode,
+                                          **config_overrides)
+            for memory_mode in ("static", "unified")
+        }
+    return grid
+
+
+# ---------------------------------------------------------------------------
 # Fault-recovery points (fault-tolerance benchmark)
 # ---------------------------------------------------------------------------
 

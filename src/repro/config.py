@@ -253,6 +253,18 @@ class DecaConfig:
     storage_fraction: float = 0.6
     shuffle_fraction: float = 0.4
 
+    # --- unified memory arena (SPARK-10000, docs/memory_model.md) ---------
+    # ``"static"`` keeps the legacy fixed split above; ``"unified"`` pools
+    # execution and storage into one per-executor arena with borrowing,
+    # like the Spark 1.6 runtime the paper's baseline actually ran under.
+    memory_mode: str = "static"
+    # Fraction of the heap the unified arena manages (Spark 1.6's
+    # ``spark.memory.fraction``); the rest is user/metadata headroom.
+    memory_fraction: float = 0.75
+    # Fraction of the arena that storage never gets evicted below when
+    # execution borrows (``spark.memory.storageFraction``).
+    storage_region_fraction: float = 0.5
+
     # --- Deca page geometry (§4.3.1) --------------------------------------
     page_bytes: int = 1 * MB
 
@@ -297,6 +309,14 @@ class DecaConfig:
             raise ConfigError(
                 "storage_fraction + shuffle_fraction cannot exceed 1.0"
             )
+        if self.memory_mode not in ("static", "unified"):
+            raise ConfigError(
+                f"memory_mode must be 'static' or 'unified': "
+                f"{self.memory_mode!r}")
+        if not 0.0 < self.memory_fraction <= 1.0:
+            raise ConfigError("memory_fraction must be in (0, 1]")
+        if not 0.0 <= self.storage_region_fraction <= 1.0:
+            raise ConfigError("storage_region_fraction must be in [0, 1]")
         if self.tenuring_threshold < 0:
             raise ConfigError("tenuring_threshold must be >= 0")
         if not 0.0 <= self.temp_survival_rate <= 1.0:
@@ -322,6 +342,17 @@ class DecaConfig:
     def shuffle_bytes(self) -> int:
         """Per-executor byte budget for shuffle buffers."""
         return int(self.heap_bytes * self.shuffle_fraction)
+
+    @property
+    def arena_bytes(self) -> int:
+        """Capacity of the unified memory arena (``memory_mode="unified"``)."""
+        return int(self.heap_bytes * self.memory_fraction)
+
+    @property
+    def storage_region_bytes(self) -> int:
+        """Storage floor of the unified arena: execution demand never
+        evicts cached storage below this many bytes."""
+        return int(self.arena_bytes * self.storage_region_fraction)
 
     @property
     def gc_costs(self) -> GcCostModel:

@@ -32,8 +32,10 @@ from .output import (
 )
 from .rules import LintTarget, run_plan_rules, run_static_rules
 from .shadow import (
+    ArenaEvent,
     PageAppend,
     ShadowRecorder,
+    check_arena_accounting,
     check_imprecision,
     check_observations,
     shadow_summary,
@@ -42,6 +44,7 @@ from .targets import LINT_APPS, LINT_APPS_BY_NAME, LintApp
 
 __all__ = [
     "AppLintResult",
+    "ArenaEvent",
     "Finding",
     "LINT_APPS",
     "LINT_APPS_BY_NAME",
@@ -55,6 +58,7 @@ __all__ = [
     "Severity",
     "ShadowRecorder",
     "baseline_diff",
+    "check_arena_accounting",
     "check_imprecision",
     "check_observations",
     "lint_app",

@@ -15,6 +15,7 @@ from .findings import Finding, Severity, sort_findings
 from .rules import run_plan_rules, run_static_rules
 from .shadow import (
     ShadowRecorder,
+    check_arena_accounting,
     check_imprecision,
     check_observations,
     shadow_summary,
@@ -67,6 +68,8 @@ def lint_app(app: LintApp, shadow: bool = True) -> AppLintResult:
         reports = tuple(optimizer.reports) if optimizer is not None else ()
         findings.extend(run_plan_rules(app.name, reports, targets))
         findings.extend(check_observations(app.name, recorder, reports))
+        findings.extend(check_arena_accounting(app.name, recorder,
+                                               reports))
         findings.extend(check_imprecision(app.name, ctx, reports))
         summary.update(shadow_summary(recorder, reports))
 

@@ -27,6 +27,7 @@ from ..analysis.size_type import SizeType
 from ..core.optimizer import PlanReport
 from ..memory import page as page_module
 from ..memory import sudt as sudt_module
+from ..memory import unified as unified_module
 from ..memory.page import PageGroup
 from ..memory.sudt import SudtMutation
 from .findings import Finding, make_finding
@@ -48,16 +49,27 @@ class PageAppend:
     size: int
 
 
+@dataclass(frozen=True)
+class ArenaEvent:
+    """One storage-side accounting event from the unified arena."""
+
+    event: str    # acquire / grow / release / evict / reject
+    entry: str    # the storage-entry name (page groups use their name)
+    nbytes: int
+
+
 class ShadowRecorder:
     """Context manager that records runtime memory behaviour.
 
-    While active, every ``PageGroup.append_record`` and every SUDT
-    accessor write anywhere in the process is appended to this recorder.
+    While active, every ``PageGroup.append_record``, every SUDT accessor
+    write, and (in unified memory mode) every arena ``memory.*`` event
+    anywhere in the process is appended to this recorder.
     """
 
     def __init__(self) -> None:
         self.appends: list[PageAppend] = []
         self.mutations: list[SudtMutation] = []
+        self.arena_events: list[ArenaEvent] = []
 
     # -- observer callbacks -------------------------------------------------
     def _on_record(self, group: PageGroup, schema: str, size: int) -> None:
@@ -67,15 +79,26 @@ class ShadowRecorder:
     def _on_mutation(self, event: SudtMutation) -> None:
         self.mutations.append(event)
 
+    def _on_memory(self, event: str, payload: dict[str, object]) -> None:
+        entry = payload.get("entry")
+        if entry is None:
+            return  # execution-side events carry no storage entry
+        nbytes = payload.get("nbytes", 0)
+        self.arena_events.append(ArenaEvent(
+            event=event, entry=str(entry),
+            nbytes=nbytes if isinstance(nbytes, int) else 0))
+
     # -- context management -------------------------------------------------
     def __enter__(self) -> "ShadowRecorder":
         page_module.add_record_observer(self._on_record)
         sudt_module.add_mutation_observer(self._on_mutation)
+        unified_module.add_memory_observer(self._on_memory)
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         page_module.remove_record_observer(self._on_record)
         sudt_module.remove_mutation_observer(self._on_mutation)
+        unified_module.remove_memory_observer(self._on_memory)
 
     # -- derived views ------------------------------------------------------
     def sizes_by_schema(self) -> dict[str, list[int]]:
@@ -87,6 +110,23 @@ class ShadowRecorder:
 
     def resize_attempts(self) -> list[SudtMutation]:
         return [m for m in self.mutations if m.is_resize]
+
+    def arena_balances(self) -> dict[str, tuple[int, int]]:
+        """Per storage entry: ``(peak_bytes, final_bytes)`` as the
+        arena accounted them (acquire/grow add, release subtracts; an
+        evict is always followed by its discard's release)."""
+        current: dict[str, int] = {}
+        peak: dict[str, int] = {}
+        for event in self.arena_events:
+            if event.event in ("acquire", "grow"):
+                now = current.get(event.entry, 0) + event.nbytes
+            elif event.event == "release":
+                now = current.get(event.entry, 0) - event.nbytes
+            else:
+                continue  # evict/reject do not move the balance
+            current[event.entry] = now
+            peak[event.entry] = max(peak.get(event.entry, 0), now)
+        return {name: (peak[name], current[name]) for name in peak}
 
 
 def check_observations(app: str, recorder: ShadowRecorder,
@@ -135,6 +175,68 @@ def check_observations(app: str, recorder: ShadowRecorder,
             "(§3.1)",
             why=(f"[shadow.sudt] {mutation.kind} intercepted by the "
                  "accessor layer",)))
+    return findings
+
+
+def check_arena_accounting(app: str, recorder: ShadowRecorder,
+                           reports: tuple[PlanReport, ...]
+                           ) -> list[Finding]:
+    """``DECA101``: arena-observed page-group bytes vs. static claims.
+
+    In unified memory mode every page group's bytes flow through the
+    arena's storage ledger (``memory.acquire``/``grow``/``release``
+    events).  Two soundness obligations fall out:
+
+    * the data packed into a group's pages can never exceed the bytes
+      the arena accounted for it — if it does, the decomposed layout
+      the size-type claim produced is smaller than the records the
+      runtime actually wrote;
+    * every group's ledger must balance (an entry can't end negative).
+    """
+    findings: list[Finding] = []
+    balances = recorder.arena_balances()
+    if not balances:
+        return findings  # static mode: the arena observed nothing
+
+    packed: dict[str, int] = {}
+    schema_of: dict[str, str] = {}
+    for append in recorder.appends:
+        packed[append.group] = packed.get(append.group, 0) + append.size
+        schema_of[append.group] = append.schema
+
+    claims: dict[str, SizeType] = {}
+    for report in reports:
+        if report.decomposed and report.udt \
+                and report.global_size_type is not None:
+            claims[report.udt] = report.global_size_type
+
+    for group in sorted(packed):
+        if group not in balances:
+            continue  # group never reached the arena (non-evictable)
+        peak, final = balances[group]
+        schema = schema_of[group]
+        claim = claims.get(schema)
+        if packed[group] > peak:
+            claim_note = (f" (claimed {claim.name})"
+                          if claim is not None else "")
+            findings.append(make_finding(
+                "DECA101", f"{app}/shadow", schema,
+                f"the runtime packed {packed[group]} data bytes into "
+                f"page group {group!r}, but the unified arena only ever "
+                f"accounted {peak} bytes for it — the decomposed layout "
+                f"derived from the size-type claim{claim_note} is "
+                "smaller than the records actually written",
+                why=(f"[shadow.arena] peak ledger {peak} B < packed "
+                     f"{packed[group]} B over "
+                     f"{len(recorder.arena_events)} arena events",)))
+        if final < 0:
+            findings.append(make_finding(
+                "DECA101", f"{app}/shadow", schema,
+                f"the arena ledger for page group {group!r} ends "
+                f"{-final} bytes negative: more bytes were released "
+                "than were ever acquired for it",
+                why=("[shadow.arena] acquire/grow/release events do "
+                     "not balance",)))
     return findings
 
 

@@ -61,8 +61,12 @@ class LintApp:
 
 
 def _shadow_config(heap_mb: int = 32) -> DecaConfig:
+    # Shadow runs use the unified arena so the DECA101 soundness check
+    # can compare arena-observed page-group bytes against the static
+    # size-type claims (check_arena_accounting).
     return DecaConfig(mode=ExecutionMode.DECA, heap_bytes=heap_mb * MB,
-                      num_executors=2, tasks_per_executor=2)
+                      num_executors=2, tasks_per_executor=2,
+                      memory_mode="unified")
 
 
 # -- per-app target builders -------------------------------------------------

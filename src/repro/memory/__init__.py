@@ -12,7 +12,10 @@ no per-record Python objects survive.
 * :mod:`repro.memory.page` — :class:`Page`, :class:`PageInfo` and
   :class:`PageGroup` (§4.3.1), with reference-counted reclamation;
 * :mod:`repro.memory.manager` — the per-executor memory manager: page-group
-  registry, LRU bookkeeping and eviction under heap pressure.
+  registry, LRU bookkeeping and eviction under heap pressure;
+* :mod:`repro.memory.unified` — the unified executor memory arena
+  (SPARK-10000): one accounting plane for cache, shuffle and Deca pages,
+  with execution/storage borrowing and cooperative spilling.
 """
 
 from .layout import (
@@ -26,6 +29,12 @@ from .layout import (
 from .sudt import SudtClass, synthesize_sudt
 from .page import Page, PageGroup, PageInfo, PagePointer
 from .manager import DecaMemoryManager
+from .unified import (
+    MemoryConsumer,
+    StaticMemoryArena,
+    UnifiedMemoryManager,
+    create_memory_arena,
+)
 
 __all__ = [
     "FixedArraySchema",
@@ -41,4 +50,8 @@ __all__ = [
     "PageInfo",
     "PagePointer",
     "DecaMemoryManager",
+    "MemoryConsumer",
+    "StaticMemoryArena",
+    "UnifiedMemoryManager",
+    "create_memory_arena",
 ]

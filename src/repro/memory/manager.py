@@ -18,15 +18,20 @@ from ..config import DecaConfig
 from ..errors import PageError
 from ..jvm.heap import SimHeap
 from .page import PageGroup, PageInfo
+from .unified import UnifiedMemoryManager
 
 
 class DecaMemoryManager:
     """Creates, tracks and reclaims the page groups of one executor."""
 
-    def __init__(self, config: DecaConfig, heap: SimHeap | None = None
-                 ) -> None:
+    def __init__(self, config: DecaConfig, heap: SimHeap | None = None,
+                 arena: UnifiedMemoryManager | None = None) -> None:
         self.config = config
         self.heap = heap
+        # In unified mode evictable page groups register as storage
+        # entries of the executor arena, so page-group swap-out competes
+        # in the same LRU as cached blocks.
+        self.arena = arena
         self._groups: dict[str, PageGroup] = {}
         self._evictable: dict[str, PageGroup] = {}
         self._use_clock = itertools.count()
@@ -48,26 +53,41 @@ class DecaMemoryManager:
             page_bytes if page_bytes is not None else self.config.page_bytes,
             heap=self.heap,
             on_reclaim=self._forget,
+            on_resize=self._resized if (self.arena is not None and evictable)
+            else None,
         )
         self._groups[name] = group
         if evictable:
             self._evictable[name] = group
+            if self.arena is not None:
+                # Pinned while being built; the cache adopts the entry
+                # (making it evictable) once the block is sealed.
+                self.arena.storage_register_pinned(name)
             self.touch(group)
         return group
+
+    def _resized(self, group: PageGroup, delta: int) -> None:
+        if self.arena is not None:
+            self.arena.storage_grow(group.name, delta)
 
     def open(self, group: PageGroup) -> PageInfo:
         """Hand out a page-info on *group* (reference-counted)."""
         return group.new_page_info()
 
     def _forget(self, group: PageGroup) -> None:
+        was_evictable = group.name in self._evictable
         self._groups.pop(group.name, None)
         self._evictable.pop(group.name, None)
         self._last_used.pop(group.name, None)
+        if self.arena is not None and was_evictable:
+            self.arena.storage_discard(group.name)
 
     # -- LRU bookkeeping ----------------------------------------------------------
     def touch(self, group: PageGroup) -> None:
         """Refresh *group*'s recently-used counter (data access)."""
         self._last_used[group.name] = next(self._use_clock)
+        if self.arena is not None:
+            self.arena.storage_touch(group.name)
 
     def eviction_order(self) -> Iterator[PageGroup]:
         """Evictable groups, least recently used first."""

@@ -95,7 +95,8 @@ class PageGroup:
 
     def __init__(self, name: str, page_bytes: int,
                  heap: SimHeap | None = None,
-                 on_reclaim: Callable[["PageGroup"], None] | None = None
+                 on_reclaim: Callable[["PageGroup"], None] | None = None,
+                 on_resize: Callable[["PageGroup", int], None] | None = None
                  ) -> None:
         if page_bytes <= 0:
             raise PageError(f"page size must be positive: {page_bytes}")
@@ -106,6 +107,10 @@ class PageGroup:
         self.refcount = 0
         self.reclaimed = False
         self._on_reclaim = on_reclaim
+        # Called with the byte delta every time the group's heap
+        # footprint changes (+page allocation, -trim); the unified
+        # memory arena tracks in-build page groups through this hook.
+        self.on_resize = on_resize
         self._alloc_group: AllocationGroup | None = None
         if heap is not None:
             self._alloc_group = heap.new_group(
@@ -176,6 +181,8 @@ class PageGroup:
             # One byte array object on the simulated heap.
             self.heap.allocate(self._alloc_group, 1, array_bytes(1, nbytes))
         self.pages.append(page)
+        if self.on_resize is not None:
+            self.on_resize(self, array_bytes(1, nbytes))
         return page
 
     def trim(self) -> int:
@@ -198,6 +205,8 @@ class PageGroup:
         saved = before - after
         if saved and self._alloc_group is not None:
             self._alloc_group.shrink(saved)
+        if saved and self.on_resize is not None:
+            self.on_resize(self, -saved)
         return saved
 
     # -- reading -----------------------------------------------------------------

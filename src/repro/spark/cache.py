@@ -27,6 +27,7 @@ from ..errors import CacheError
 from ..jvm.objects import AllocationGroup, Lifetime
 from ..memory.layout import Schema
 from ..memory.page import PageGroup
+from ..memory.unified import UnifiedMemoryManager
 from .measure import RecordFootprint
 
 BlockKey = tuple[int, int]  # (rdd_id, partition_index)
@@ -76,6 +77,12 @@ class CacheStore:
         self._tick = 0
         self.swapped_bytes_total = 0
         self.storage_budget = executor.config.storage_bytes
+        # In unified mode the executor arena owns eviction: blocks are
+        # storage entries competing in one LRU with Deca page groups,
+        # and the local budget/_make_room logic is bypassed.
+        arena = getattr(executor, "arena", None)
+        self._unified: UnifiedMemoryManager | None = (
+            arena if isinstance(arena, UnifiedMemoryManager) else None)
         # Running sum of resident (not-on-disk) block bytes, maintained on
         # put/swap/drop so the eviction loop stays O(1) per victim instead
         # of recomputing O(blocks) on every iteration.
@@ -107,19 +114,78 @@ class CacheStore:
         self._tick += 1
         self._lru[key] = self._tick
         block = self.blocks.get(key)
-        if block is not None and block.page_group is not None \
+        if block is None:
+            return
+        if block.page_group is not None \
                 and not block.page_group.reclaimed:
             self.executor.memory_manager.touch(block.page_group)
+        elif self._unified is not None:
+            self._unified.storage_touch(self._entry_name(block))
+
+    def _entry_name(self, block: CachedBlock) -> str:
+        """The block's storage-entry name in the unified arena.
+
+        Deca blocks are tracked under their page group's name (the
+        manager registers it); object/serialized blocks use the same
+        ``cache:<key>`` convention.
+        """
+        if block.page_group is not None:
+            return block.page_group.name
+        return f"cache:{block.key}"
 
     # -- insertion -----------------------------------------------------------------
     def put(self, block: CachedBlock) -> None:
         if block.key in self.blocks:
             raise CacheError(f"block {block.key} cached twice")
+        if self._unified is not None:
+            self._put_unified(block)
+            return
+        executor = self.executor
+        if block.memory_bytes > self.storage_budget:
+            # Fail fast: a block that can never fit must not evict every
+            # resident block first only to be swapped out itself.
+            executor.tracer.instant(
+                "memory:reject", "memory", ts_ms=executor.clock.now_ms,
+                pid=executor.trace_pid, rdd_id=block.key[0],
+                partition=block.key[1], nbytes=block.memory_bytes,
+                limit=self.storage_budget, reason="exceeds-storage-budget")
+            self.blocks[block.key] = block
+            if not block.on_disk:
+                self._resident_bytes += block.memory_bytes
+            self._touch(block.key)
+            if not block.on_disk:
+                self.swap_out(block.key)
+            return
         self._make_room(block.memory_bytes)
         self.blocks[block.key] = block
         if not block.on_disk:
             self._resident_bytes += block.memory_bytes
         self._touch(block.key)
+
+    def _put_unified(self, block: CachedBlock) -> None:
+        """Insert under the unified arena: the block becomes a storage
+        entry whose eviction callback is :meth:`swap_out`."""
+        arena = self._unified
+        assert arena is not None
+        key = block.key
+        fits = True
+        if block.page_group is not None:
+            # The page group registered (pinned) while being built;
+            # adopting seals it and makes it evictable.
+            arena.storage_adopt(block.page_group.name, block.memory_bytes,
+                                evict=lambda: self.swap_out(key))
+        else:
+            fits = arena.storage_acquire(
+                self._entry_name(block), block.memory_bytes,
+                evict=lambda: self.swap_out(key))
+        self.blocks[key] = block
+        if not block.on_disk:
+            self._resident_bytes += block.memory_bytes
+        self._touch(key)
+        if not fits and not block.on_disk:
+            # The arena traced a ``memory:reject``; store straight to
+            # disk instead of displacing better-sized residents.
+            self.swap_out(key)
 
     def _make_room(self, nbytes: int) -> None:
         """Swap out LRU blocks until *nbytes* fit in the storage budget."""
@@ -155,8 +221,12 @@ class CacheStore:
             block._disk_payload = block.records
             block.records = None
         elif block.strategy is StorageStrategy.SERIALIZED:
-            block._disk_payload = block.blob
+            # Schema-less blocks keep their record list instead of a
+            # packed blob; park whichever payload exists.
+            block._disk_payload = (block.blob if block.blob is not None
+                                   else block.records)
             block.blob = None
+            block.records = None
         else:
             # Deca: raw page bytes go straight to disk — no serialization.
             group = block.page_group
@@ -169,6 +239,10 @@ class CacheStore:
         if block.alloc_group is not None and not block.alloc_group.freed:
             executor.heap.free_group(block.alloc_group)
             block.alloc_group = None
+        if self._unified is not None:
+            # Deca entries are discarded by the manager when the group
+            # reclaims; discard is idempotent, so cover both shapes.
+            self._unified.storage_discard(self._entry_name(block))
         block.on_disk = True
         block.memory_bytes = 0
         self._resident_bytes -= released
@@ -200,8 +274,13 @@ class CacheStore:
                                    block.memory_bytes)
             block.alloc_group = group
         elif block.strategy is StorageStrategy.SERIALIZED:
-            block.blob = block._disk_payload
-            block.memory_bytes = len(block.blob)
+            payload = block._disk_payload
+            if isinstance(payload, (bytes, bytearray)):
+                block.blob = payload
+                block.memory_bytes = len(payload)
+            else:
+                block.records = payload
+                block.memory_bytes = block.footprint.serialized_bytes
             group = executor.heap.new_group(
                 f"cache:{block.key}", Lifetime.PINNED)
             executor.heap.allocate(group, 2, block.memory_bytes)
@@ -221,7 +300,14 @@ class CacheStore:
         # just-restored block would itself be the first eviction victim,
         # swapping straight back out (swap-in thrash).
         self._touch(key)
-        self._make_room(0)
+        if self._unified is not None:
+            # Re-register with the arena (evicting colder entries); the
+            # bytes are already on the heap, so adoption cannot fail.
+            self._unified.storage_adopt(
+                self._entry_name(block), block.memory_bytes,
+                evict=lambda: self.swap_out(key))
+        else:
+            self._make_room(0)
         executor.tracer.instant(
             "cache:swap-in", "cache", ts_ms=executor.clock.now_ms,
             pid=executor.trace_pid, rdd_id=key[0], partition=key[1],
@@ -276,6 +362,8 @@ class CacheStore:
             self._resident_bytes -= block.memory_bytes
         if block.alloc_group is not None and not block.alloc_group.freed:
             self.executor.heap.free_group(block.alloc_group)
+        if self._unified is not None and not block.on_disk:
+            self._unified.storage_discard(self._entry_name(block))
         if block.page_group is not None \
                 and not block.page_group.reclaimed:
             block.page_group.reclaim()
@@ -303,7 +391,15 @@ class CacheStore:
             yield from block.records
             return
         if block.strategy is StorageStrategy.SERIALIZED:
-            assert block.schema is not None and block.blob is not None
+            if block.blob is None or block.schema is None:
+                # Non-decomposable records cannot be blob-packed: the
+                # block keeps its record list and only models the
+                # serialized footprint.  Reads still pay deserialization.
+                assert block.records is not None
+                executor.serializer.kryo_deserialize(
+                    block.footprint.objects, block.disk_bytes)
+                yield from block.records
+                return
             executor.serializer.kryo_deserialize(
                 block.footprint.objects, len(block.blob))
             offset = 0

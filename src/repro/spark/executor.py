@@ -17,6 +17,7 @@ from ..jvm.heap import SimHeap
 from ..jvm.objects import AllocationGroup, Lifetime
 from ..jvm.stats import GcEvent
 from ..memory.manager import DecaMemoryManager
+from ..memory.unified import UnifiedMemoryManager, create_memory_arena
 from ..obs import Tracer
 from ..simtime import SimClock
 from .cache import CacheStore
@@ -44,14 +45,30 @@ class Executor:
         self.trace_pid = executor_id + 1
         self.heap = SimHeap(config, self.clock, f"executor-{executor_id}")
         self.heap.add_gc_listener(self._on_gc_event)
-        self.memory_manager = DecaMemoryManager(config, self.heap)
+        # The memory arena is the single accounting plane for cache
+        # blocks, shuffle buffers and Deca page groups.  In static mode
+        # it only tracks the shared shuffle pool; in unified mode it
+        # arbitrates execution/storage borrowing (docs/memory_model.md).
+        self.arena = create_memory_arena(
+            config, clock=self.clock, tracer=self.tracer,
+            pid=executor_id + 1)
+        unified = (self.arena
+                   if isinstance(self.arena, UnifiedMemoryManager) else None)
+        self.memory_manager = DecaMemoryManager(config, self.heap,
+                                                arena=unified)
         self.serializer = SerializerModel(
             config.serializer, self.clock,
             parallelism=config.tasks_per_executor)
         self.cache = CacheStore(self)
         self.serializer.on_charge = self._attribute_serializer_time
         self.shuffle_store = shuffle_store
-        self.heap.add_pressure_handler(self.cache.release_for_pressure)
+        if unified is not None:
+            # One pressure plane: the arena evicts storage LRU (cache
+            # blocks and page groups alike), then spills execution
+            # consumers, largest first.
+            self.heap.add_pressure_handler(unified.release_for_pressure)
+        else:
+            self.heap.add_pressure_handler(self.cache.release_for_pressure)
         self.parallelism = max(1, config.tasks_per_executor)
         self.profiler: HeapProfiler | None = None
         self._temp_group: AllocationGroup | None = None
@@ -216,6 +233,8 @@ class Executor:
         self._current_task = task
         task._start_ms = self.clock.now_ms
         task._gc_start_ms = self.heap.stats.pause_ms
+        if isinstance(self.arena, UnifiedMemoryManager):
+            task._arena_key = self.arena.task_started()
         self._temp_group = self.heap.new_group(
             "udf-temp", Lifetime.TEMPORARY)
 
@@ -225,6 +244,12 @@ class Executor:
         if self._temp_group is not None and not self._temp_group.freed:
             self.heap.free_group(self._temp_group)
         self._temp_group = None
+        arena_key = getattr(task, "_arena_key", None)
+        if (arena_key is not None
+                and isinstance(self.arena, UnifiedMemoryManager)):
+            # Unreleased execution grants die with the task.
+            self.arena.task_finished(arena_key)
+            task._arena_key = None
         task.metrics.duration_ms = self.clock.now_ms - task._start_ms
         task.metrics.gc_pause_ms = (self.heap.stats.pause_ms
                                     - task._gc_start_ms)

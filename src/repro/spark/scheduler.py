@@ -56,6 +56,8 @@ class TaskContext:
     metrics: TaskMetrics
     _start_ms: float = 0.0
     _gc_start_ms: float = 0.0
+    # Unified-mode arena task slot (fair-share accounting key).
+    _arena_key: int | None = None
 
 
 @dataclass

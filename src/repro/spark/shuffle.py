@@ -27,6 +27,7 @@ from typing import Any, Callable, Iterable, Iterator
 from ..errors import FetchFailedError, ShuffleError
 from ..jvm.objects import Lifetime
 from ..memory.layout import Schema
+from ..memory.unified import UnifiedMemoryManager
 from .measure import RecordFootprint, measure_generic
 
 
@@ -171,6 +172,20 @@ class MapSideWriter:
         self._buffer_records = 0
         self.spill_count = 0
         self._page_bytes = executor.config.page_bytes
+        # The executor arena governs when this writer spills.  Static
+        # mode: every writer charges its buffer into one shared shuffle
+        # pool (concurrent writers spill at the combined threshold, not
+        # each at a private one).  Unified mode: the writer is a
+        # MemoryConsumer holding per-task execution grants and spills
+        # when the arena cannot extend them.
+        self._arena = executor.arena
+        self._unified = (self._arena
+                         if isinstance(self._arena, UnifiedMemoryManager)
+                         else None)
+        # Bytes currently charged into the arena (static pool charge or
+        # unified execution grant).  Zeroed by spill/flush/abort, which
+        # makes the releases idempotent across flush-then-abort paths.
+        self._charged = 0
 
     # -- write path -----------------------------------------------------------
     def write_all(self, records: Iterable[tuple[Any, Any]]) -> None:
@@ -247,15 +262,38 @@ class MapSideWriter:
             new_pages += 1  # the first page
         self.executor.heap.allocate(self._buffer_group, new_pages, nbytes)
         self._buffer_bytes += nbytes
+        self._charge_arena(nbytes)
 
     def _account_buffer(self, objects: int, nbytes: int) -> None:
         self.executor.heap.allocate(self._buffer_group, objects, nbytes)
         self._buffer_bytes += nbytes
+        self._charge_arena(nbytes)
 
-    def _maybe_spill(self) -> None:
-        budget = self.executor.config.shuffle_bytes
-        if self._buffer_bytes <= budget:
-            return
+    def _charge_arena(self, nbytes: int) -> None:
+        if self._unified is None:
+            self._arena.shuffle_acquire(nbytes)
+            self._charged += nbytes
+        # Unified grants are extended lazily in :meth:`_maybe_spill`,
+        # rounded up to page quanta, so every record doesn't pay an
+        # arena round-trip.
+
+    # -- MemoryConsumer protocol (unified mode) -------------------------------
+    @property
+    def consumer_name(self) -> str:
+        return f"shuffle:{self.shuffle_id}:{self.map_part}"
+
+    def memory_used(self) -> int:
+        return self._charged
+
+    def spill(self) -> int:
+        """Sort and spill the buffered records, releasing arena bytes.
+
+        Invoked by :meth:`_maybe_spill` when over budget and — in
+        unified mode — cooperatively by the arena when a sibling
+        consumer is starved.  Returns the arena bytes given back.
+        """
+        if self._buffer_bytes <= 0 and self._charged <= 0:
+            return 0
         # Sort and spill the buffered bytes, then release the heap space
         # (the data plane keeps the records; only costs are charged).
         # The sort covers this epoch's records only — records spilled by
@@ -283,6 +321,35 @@ class MapSideWriter:
                              + executor.heap.old_used_bytes))
         self._buffer_bytes = 0
         self._buffer_records = 0
+        return self._release_arena()
+
+    def _release_arena(self) -> int:
+        """Give every charged arena byte back (idempotent)."""
+        charged, self._charged = self._charged, 0
+        if charged <= 0:
+            return 0
+        if self._unified is not None:
+            return self._unified.execution_release(charged, consumer=self)
+        self._arena.shuffle_release(charged)
+        return charged
+
+    def _maybe_spill(self) -> None:
+        if self._unified is None:
+            if not self._arena.shuffle_over_budget():
+                return
+            self.spill()
+            return
+        # Unified: extend this task's grant to cover the buffer; spill
+        # only when the arena (after evicting borrowed storage and
+        # cooperatively spilling siblings) cannot.
+        if self._buffer_bytes <= self._charged:
+            return
+        need = self._buffer_bytes - self._charged
+        granted = self._unified.execution_acquire(
+            max(need, self._page_bytes), consumer=self)
+        self._charged += granted
+        if self._buffer_bytes > self._charged:
+            self.spill()
 
     # -- flush -----------------------------------------------------------------
     def flush(self, store: ShuffleBlockStore) -> None:
@@ -326,6 +393,7 @@ class MapSideWriter:
         # The buffer's lifetime ends with the task (§4.2).
         if not self._buffer_group.freed:
             self.executor.heap.free_group(self._buffer_group)
+        self._release_arena()
 
     def abort(self) -> None:
         """Tear down after a failed attempt: the buffer dies unregistered.
@@ -336,6 +404,74 @@ class MapSideWriter:
         """
         if not self._buffer_group.freed:
             self.executor.heap.free_group(self._buffer_group)
+        self._release_arena()
+
+
+class ReduceMergeConsumer:
+    """The reduce-side merge as an execution :class:`MemoryConsumer`.
+
+    In unified mode every fetched block's bytes are admitted against a
+    per-task execution grant; when the arena cannot extend it the merge
+    spills its buffered runs to disk (an extra sequential write, merged
+    back by charge-free streaming) and releases the grant.
+    """
+
+    def __init__(self, executor, arena: UnifiedMemoryManager,
+                 shuffle_id: int, reduce_part: int) -> None:
+        self.executor = executor
+        self.arena = arena
+        self.shuffle_id = shuffle_id
+        self.reduce_part = reduce_part
+        self._charged = 0
+        self._data_bytes = 0
+        self.spilled_bytes = 0
+        self.spill_count = 0
+
+    @property
+    def consumer_name(self) -> str:
+        return f"reduce-merge:{self.shuffle_id}:{self.reduce_part}"
+
+    def memory_used(self) -> int:
+        return self._charged
+
+    def admit(self, nbytes: int) -> None:
+        """Account one fetched block into the merge buffer."""
+        granted = self.arena.execution_acquire(nbytes, consumer=self)
+        if granted < nbytes and self._data_bytes > 0:
+            self.spill()
+            granted += self.arena.execution_acquire(nbytes - granted,
+                                                    consumer=self)
+        self._charged += granted
+        self._data_bytes += nbytes
+
+    def spill(self) -> int:
+        """Write the buffered merge runs out; return arena bytes freed."""
+        if self._data_bytes <= 0 and self._charged <= 0:
+            return 0
+        executor = self.executor
+        spill_start_ms = executor.clock.now_ms
+        executor.charge_disk_write(self._data_bytes)
+        self.spilled_bytes += self._data_bytes
+        self.spill_count += 1
+        executor.tracer.complete(
+            "shuffle:merge-spill", "shuffle", ts_ms=spill_start_ms,
+            dur_ms=executor.clock.now_ms - spill_start_ms,
+            pid=executor.trace_pid, shuffle_id=self.shuffle_id,
+            reduce_part=self.reduce_part,
+            spilled_bytes=self._data_bytes,
+            spill_count=self.spill_count)
+        self._data_bytes = 0
+        charged, self._charged = self._charged, 0
+        if charged <= 0:
+            return 0
+        return self.arena.execution_release(charged, consumer=self)
+
+    def close(self) -> None:
+        """Release the grant when the merge's records are consumed."""
+        self._data_bytes = 0
+        charged, self._charged = self._charged, 0
+        if charged > 0:
+            self.arena.execution_release(charged, consumer=self)
 
 
 def read_reduce_partition(executor, store: ShuffleBlockStore,
@@ -345,11 +481,28 @@ def read_reduce_partition(executor, store: ShuffleBlockStore,
 
     Remote blocks pay network cost; all blocks pay disk read (map outputs
     are files); object-form blocks pay per-record deserialization while
-    decomposed blocks are read in place.
+    decomposed blocks are read in place.  Under ``memory_mode="unified"``
+    the merge buffer holds an execution grant via
+    :class:`ReduceMergeConsumer` and spills when the arena denies it.
     """
+    arena = getattr(executor, "arena", None)
+    merge = (ReduceMergeConsumer(executor, arena, shuffle_id, reduce_part)
+             if isinstance(arena, UnifiedMemoryManager) else None)
     num_maps = store.map_parts(shuffle_id)
     injector = executor.fault_injector
     tracer = executor.tracer
+    try:
+        yield from _fetch_blocks(executor, store, shuffle_id, reduce_part,
+                                 num_maps, injector, tracer, merge)
+    finally:
+        if merge is not None:
+            merge.close()
+
+
+def _fetch_blocks(executor, store: ShuffleBlockStore, shuffle_id: int,
+                  reduce_part: int, num_maps: int, injector, tracer,
+                  merge: ReduceMergeConsumer | None,
+                  ) -> Iterator[tuple[Any, Any]]:
     for map_part in range(num_maps):
         fetch_start_ms = executor.clock.now_ms
         block = store.fetch(shuffle_id, map_part, reduce_part)
@@ -390,6 +543,8 @@ def read_reduce_partition(executor, store: ShuffleBlockStore,
         else:
             executor.serializer.kryo_deserialize(block.objects,
                                                  block.nbytes)
+        if merge is not None:
+            merge.admit(block.nbytes)
         # The fetch wait: everything between asking for the block and
         # having its records decoded and ready to aggregate.
         tracer.complete(

@@ -10,8 +10,10 @@ from repro.apps.wordcount import wordcount_udt_info
 from repro.core.optimizer import PlanReport
 from repro.errors import PageOverflowError
 from repro.lint import (
+    ArenaEvent,
     PageAppend,
     ShadowRecorder,
+    check_arena_accounting,
     check_imprecision,
     check_observations,
     shadow_summary,
@@ -118,6 +120,49 @@ class TestCheckObservations:
         findings = check_observations("app", recorder, ())
         assert [f.rule_id for f in findings] == ["DECA101"]
         assert "array-resize" in findings[0].message
+
+
+class TestCheckArenaAccounting:
+    def test_silent_in_static_mode(self):
+        recorder = ShadowRecorder()
+        recorder.appends = [PageAppend("g", "Point", 40)]
+        assert check_arena_accounting(
+            "app", recorder, (_sfst_report("Point"),)) == []
+
+    def test_clean_when_arena_covers_packed_bytes(self):
+        recorder = ShadowRecorder()
+        recorder.appends = [PageAppend("g", "Point", 40)] * 3
+        recorder.arena_events = [ArenaEvent("grow", "g", 4096)]
+        assert check_arena_accounting(
+            "app", recorder, (_sfst_report("Point"),)) == []
+
+    def test_flags_packed_bytes_beyond_arena_ledger(self):
+        recorder = ShadowRecorder()
+        recorder.appends = [PageAppend("g", "Point", 40)] * 3
+        recorder.arena_events = [ArenaEvent("acquire", "g", 64)]
+        findings = check_arena_accounting(
+            "app", recorder, (_sfst_report("Point"),))
+        assert [f.rule_id for f in findings] == ["DECA101"]
+        assert "only ever accounted 64 bytes" in findings[0].message
+        assert "STATIC_FIXED" in findings[0].message
+
+    def test_flags_negative_ledger(self):
+        recorder = ShadowRecorder()
+        recorder.appends = [PageAppend("g", "Point", 40)]
+        recorder.arena_events = [ArenaEvent("grow", "g", 4096),
+                                 ArenaEvent("release", "g", 5000)]
+        findings = check_arena_accounting("app", recorder, ())
+        assert [f.rule_id for f in findings] == ["DECA101"]
+        assert "negative" in findings[0].message
+
+    def test_recorded_end_to_end_by_shadow_run(self):
+        from repro.lint import LINT_APPS_BY_NAME, lint_app
+
+        result = lint_app(LINT_APPS_BY_NAME["wordcount"], shadow=True)
+        # The unified-mode shadow run produced arena traffic and the
+        # accounting check stayed clean on the healthy app.
+        assert not [f for f in result.findings
+                    if f.rule_id == "DECA101"]
 
 
 class TestCheckImprecision:
