@@ -15,7 +15,10 @@ Soot framework; see DESIGN.md for the substitution argument):
 * :mod:`repro.analysis.global_refine` — Algorithms 2/3/4: init-only fields,
   fixed-length array detection, SFST/RFST refinement;
 * :mod:`repro.analysis.phased` — per-phase refinement (§3.4);
-* :mod:`repro.analysis.pointsto` — object-to-container binding (§4.3).
+* :mod:`repro.analysis.pointsto` — object-to-container binding (§4.3);
+* :mod:`repro.analysis.closures` — bytecode-level purity / determinism /
+  escape analysis of the Python UDFs the engine executes (the code the
+  mini-IR cannot see).
 """
 
 from .size_type import SizeType, max_variability
@@ -64,6 +67,14 @@ from .explain import (
     explain_phases,
     explain_provenance,
     render_provenance,
+)
+from .closures import (
+    Capture,
+    ClosureReport,
+    Hazard,
+    analyze_closure,
+    analyze_value,
+    code_location,
 )
 from .pointsto import (
     ContainerKind,
@@ -125,6 +136,12 @@ __all__ = [
     "PointsToBinding",
     "assign_all",
     "assign_ownership",
+    "Capture",
+    "ClosureReport",
+    "Hazard",
+    "analyze_closure",
+    "analyze_value",
+    "code_location",
     "Provenance",
     "ProvenanceStep",
     "explain_classification",

@@ -136,7 +136,10 @@ def run_kmeans(points: list[Point], k: int = 8,
 
     centers = [points[(i * 7919) % len(points)] for i in range(k)]
     for _ in range(iterations):
-        frozen = list(centers)
+        # A tuple, not a list: the closure analyzer (DECA206) flags
+        # mutable default captures — a list here would be shared state a
+        # retried task could observe mid-update.
+        frozen = tuple(centers)
 
         def assign(point, c=frozen):
             index = _closest(point, c)

@@ -122,6 +122,10 @@ def main(argv: list[str] | None = None) -> int:
     lint.add_argument("--no-shadow", action="store_true",
                       help="skip the instrumented shadow runs "
                            "(static rules only)")
+    lint.add_argument("--rules", nargs="*", default=[], metavar="PREFIX",
+                      help="keep only findings whose rule id starts with "
+                           "one of these prefixes (e.g. DECA2 for the "
+                           "closure family); summaries are unaffected")
 
     mem = sub.add_parser(
         "memory",
@@ -212,6 +216,7 @@ def _run_lint(args) -> int:
 
     from ..lint import (
         baseline_diff,
+        filter_report,
         render_text,
         report_payload,
         run_lint,
@@ -223,6 +228,8 @@ def _run_lint(args) -> int:
         report = run_lint(args.apps, shadow=not args.no_shadow)
     except KeyError as exc:
         raise SystemExit(str(exc.args[0]))
+    if args.rules:
+        report = filter_report(report, tuple(args.rules))
     payload = report_payload(report)
 
     if args.write_baseline:

@@ -276,6 +276,15 @@ class DecaConfig:
     # --- fault tolerance ----------------------------------------------------
     faults: FaultConfig = field(default_factory=FaultConfig)
 
+    # --- closure guard (docs/closure_analysis.md) --------------------------
+    # What the scheduler does when a UDF's closure-analysis verdict is
+    # nondeterministic and a retry-like action (speculation, lineage
+    # re-execution) comes up: ``"off"`` skips the analysis entirely,
+    # ``"warn"`` refuses speculation / logs a ``closure:unsafe_retry``
+    # trace event but proceeds, ``"strict"`` raises
+    # :class:`repro.errors.NondeterministicUdfError`.
+    closure_guard: str = "off"
+
     # --- engine behaviour ---------------------------------------------------
     mode: ExecutionMode = ExecutionMode.SPARK
     # Objects surviving this many minor collections are promoted.
@@ -317,6 +326,10 @@ class DecaConfig:
             raise ConfigError("memory_fraction must be in (0, 1]")
         if not 0.0 <= self.storage_region_fraction <= 1.0:
             raise ConfigError("storage_region_fraction must be in [0, 1]")
+        if self.closure_guard not in ("off", "warn", "strict"):
+            raise ConfigError(
+                f"closure_guard must be 'off', 'warn' or 'strict': "
+                f"{self.closure_guard!r}")
         if self.tenuring_threshold < 0:
             raise ConfigError("tenuring_threshold must be >= 0")
         if not 0.0 <= self.temp_survival_rate <= 1.0:

@@ -35,6 +35,7 @@ from ..spark.cache import StorageStrategy
 from ..spark.shuffle import ShuffleKind, ShufflePlan
 
 if TYPE_CHECKING:
+    from ..analysis.closures import ClosureReport
     from ..spark.context import CachePlan as CachePlanT, DecaContext
     from ..spark.rdd import RDD, ShuffleDependency, UdtInfo
 
@@ -71,6 +72,7 @@ class DecaOptimizer:
         self.ctx = ctx
         self._cache_plans: dict[int, "CachePlanT"] = {}
         self._shuffle_plans: dict[int, ShufflePlan] = {}
+        self._closure_reports: dict[int, "ClosureReport | None"] = {}
         self.reports: list[PlanReport] = []
 
     # -- cached datasets --------------------------------------------------------
@@ -91,6 +93,20 @@ class DecaOptimizer:
                 target=f"cache:{rdd.name}", udt=None,
                 local_size_type=None, global_size_type=None,
                 decomposed=False, reason="no UDT declared"))
+            return CachePlan(StorageStrategy.OBJECTS)
+
+        escaper = self._escaping_consumer(rdd)
+        if escaper is not None:
+            # A consuming UDF lets records outlive the call (stored into
+            # captured state or closed over) — decomposed page records
+            # would dangle once the page group is reclaimed, so the
+            # container must stay in object form (§4.2).
+            self.reports.append(PlanReport(
+                target=f"cache:{rdd.name}", udt=info.udt.name,
+                local_size_type=None, global_size_type=None,
+                decomposed=False,
+                reason=f"records escape consuming UDF {escaper}; "
+                       "closure analysis forces object form"))
             return CachePlan(StorageStrategy.OBJECTS)
 
         local, refined, classifier = self._classify(info)
@@ -122,6 +138,35 @@ class DecaOptimizer:
         return CachePlan(StorageStrategy.DECA_PAGES, schema=schema,
                          encode=info.to_schema_value,
                          decode=info.from_schema_value)
+
+    def _escaping_consumer(self, rdd: "RDD") -> str | None:
+        """Name of a registered consumer UDF with an ``escapes`` verdict.
+
+        Walks the RDDs registered so far for direct children of *rdd*
+        (narrow or shuffle dependents) and runs the closure analyzer on
+        their record functions.  Only a *definite* escape downgrades the
+        plan — ``unknown`` verdicts leave decomposition to the size-type
+        rules, which already handle unanalyzed code conservatively.
+        """
+        from ..analysis.closures import analyze_value
+
+        for rdd_id in sorted(self.ctx._rdds):
+            child = self.ctx._rdds[rdd_id]
+            if not any(dep.parent is rdd for dep in child.deps):
+                continue
+            fn = getattr(child, "_record_fn", None)
+            if fn is None:
+                continue
+            report = self._closure_reports.get(rdd_id)
+            if report is None and rdd_id not in self._closure_reports:
+                try:
+                    report = analyze_value(fn)
+                except TypeError:
+                    report = None
+                self._closure_reports[rdd_id] = report
+            if report is not None and report.escape == "escapes":
+                return f"{child.name}#{report.qualname}"
+        return None
 
     # -- shuffles ---------------------------------------------------------------
     def plan_shuffle(self, dep: "ShuffleDependency") -> ShufflePlan:

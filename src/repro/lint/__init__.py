@@ -7,12 +7,17 @@ Two layers over the Deca lifetime analysis (see ``docs/static_analysis.md``):
   patterns that force object form or undermine the analysis' assumptions;
 * **shadow validation** (``DECA101``/``DECA102``) — instrument the runtime
   during a real DECA-mode run and differentially compare observed record
-  sizes and accessor writes against the static classification.
+  sizes and accessor writes against the static classification;
+* **closure rules** (``DECA201``–``DECA206``, ``DECA211``/``DECA212``) —
+  run the bytecode-level closure analyzer over every UDF the shadow run
+  registered, then double-run a sampled task and diff the outputs
+  (``docs/closure_analysis.md``).
 
 Entry points: :func:`run_lint` (library) and ``python -m repro.bench lint``
 (CLI, with text/JSON/SARIF output and a committed baseline checked in CI).
 """
 
+from .closure_rules import app_sites, run_closure_rules
 from .engine import AppLintResult, LintReport, lint_app, run_lint
 from .findings import (
     Finding,
@@ -25,6 +30,7 @@ from .findings import (
 )
 from .output import (
     baseline_diff,
+    filter_report,
     render_text,
     report_payload,
     serialize,
@@ -57,11 +63,14 @@ __all__ = [
     "Rule",
     "Severity",
     "ShadowRecorder",
+    "app_sites",
     "baseline_diff",
     "check_arena_accounting",
     "check_imprecision",
     "check_observations",
+    "filter_report",
     "lint_app",
+    "run_closure_rules",
     "make_finding",
     "render_text",
     "report_payload",

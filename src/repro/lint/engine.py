@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .closure_rules import run_closure_rules
 from .findings import Finding, Severity, sort_findings
 from .rules import run_plan_rules, run_static_rules
 from .shadow import (
@@ -72,6 +73,13 @@ def lint_app(app: LintApp, shadow: bool = True) -> AppLintResult:
                                                reports))
         findings.extend(check_imprecision(app.name, ctx, reports))
         summary.update(shadow_summary(recorder, reports))
+        # Closure rules go last: the differential double-run replays
+        # tasks on the finished context, which must not perturb the
+        # recorder-based checks above.
+        closure_findings, closure_summary = run_closure_rules(app.name,
+                                                              ctx)
+        findings.extend(closure_findings)
+        summary["closures"] = closure_summary
 
     return AppLintResult(app=app.name, title=app.title,
                          findings=sort_findings(findings),

@@ -6,7 +6,11 @@ symbolized-constant facts and the optimizer's decomposition plans.
 ``DECA1xx`` rules are *differential*: the shadow validator compares what
 the runtime actually did (record sizes, SUDT writes) against what the
 static classification promised, reporting soundness violations and
-imprecision.
+imprecision.  ``DECA20x`` rules come from the bytecode-level closure
+analyzer (:mod:`repro.analysis.closures`) over the user UDFs of each
+app's lineage, and ``DECA21x`` rules are their differential counterpart:
+a double-run shadow check that re-executes a sampled task twice and
+diffs the outputs.
 
 A :class:`Finding` is deterministic and JSON-round-trippable; its ``why``
 chain carries the provenance steps of the classification that led to the
@@ -80,6 +84,38 @@ RULES: tuple[Rule, ...] = (
     Rule("DECA102", "shadow-imprecision", Severity.NOTE,
          "The static analysis kept a container in object form although "
          "every observed record had the same data-size", "§3.1"),
+    Rule("DECA201", "closure-illegal-capture", Severity.ERROR,
+         "A UDF captures a live engine handle (DecaContext / RDD); the "
+         "closure would ship the whole driver into every task", "§4"),
+    Rule("DECA202", "closure-nondeterministic", Severity.WARNING,
+         "A UDF reaches a nondeterminism source (random / time / "
+         "os.environ / id / hash); retries, speculation and lineage "
+         "re-execution can produce divergent results", "§4"),
+    Rule("DECA203", "closure-iteration-order-hazard", Severity.WARNING,
+         "A UDF iterates a captured set; the visit order is hash-seed "
+         "dependent, so two runs can emit records in different orders",
+         "§4"),
+    Rule("DECA204", "closure-impure", Severity.WARNING,
+         "A UDF has side effects (global stores, captured-cell writes, "
+         "mutation through captured objects); re-executing it repeats "
+         "the effects", "§4"),
+    Rule("DECA205", "closure-record-escape", Severity.WARNING,
+         "A UDF lets argument records outlive the call (stored into a "
+         "captured container or closed over by an inner function); the "
+         "lifetime analysis must handle the record conservatively",
+         "§4.2"),
+    Rule("DECA206", "closure-mutable-capture", Severity.NOTE,
+         "A UDF captures a mutable container as a module-level global "
+         "or default argument — shared state that concurrent or retried "
+         "tasks can observe mid-update", "§4"),
+    Rule("DECA211", "closure-shadow-nondeterminism", Severity.ERROR,
+         "Re-executing a sampled task twice produced different outputs; "
+         "the UDF is nondeterministic at runtime regardless of the "
+         "static verdict", "§4"),
+    Rule("DECA212", "closure-shadow-imprecision", Severity.NOTE,
+         "A UDF the static analysis flagged nondeterministic produced "
+         "identical outputs on a double-run; the sampled partition may "
+         "simply not exercise the nondeterminism", "§4"),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in RULES}

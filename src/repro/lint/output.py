@@ -76,6 +76,15 @@ def render_text(report: LintReport) -> str:
                          f"records, {summary.get('sudt_writes', 0)} SUDT "
                          f"writes, {summary.get('resize_attempts', 0)} "
                          "resize attempts")
+        closures = summary.get("closures")
+        if isinstance(closures, dict):
+            lines.append(
+                f"  closures: {closures.get('udfs_analyzed', 0)}/"
+                f"{closures.get('udf_sites', 0)} UDFs analyzed, "
+                f"{closures.get('udfs_nondeterministic', 0)} "
+                f"nondeterministic, {closures.get('double_runs', 0)} "
+                f"double-run(s), "
+                f"{closures.get('double_run_mismatches', 0)} mismatch(es)")
         lines.append("")
     totals = report_payload(report)["totals"]
     lines.append(f"deca-lint: {totals['findings']} finding(s) — "
@@ -135,6 +144,26 @@ def to_sarif(report: LintReport) -> dict[str, Any]:
             "results": results,
         }],
     }
+
+
+def filter_report(report: LintReport,
+                  prefixes: tuple[str, ...]) -> LintReport:
+    """A copy of *report* keeping only findings whose rule id starts
+    with one of *prefixes* (``("DECA2",)`` keeps the closure family).
+
+    Per-app summaries are preserved untouched — they describe the run,
+    not the filtered view.
+    """
+    if not prefixes:
+        return report
+    apps = tuple(
+        AppLintResult(
+            app=result.app, title=result.title,
+            findings=tuple(f for f in result.findings
+                           if f.rule_id.startswith(prefixes)),
+            summary=result.summary)
+        for result in report.apps)
+    return LintReport(apps=apps)
 
 
 def finding_identities(payload: dict[str, Any]) -> set[str]:

@@ -359,7 +359,13 @@ class UnifiedMemoryManager:
         entry = None
         if consumer is not None:
             entry = self._consumers.get(id(consumer))
-            if entry is not None and task_key is None:
+            if entry is None:
+                # No outstanding grants for this consumer — its task may
+                # already have force-released them at task end.  Freeing
+                # from the ambient slot here would return bytes granted
+                # to *other* consumers.
+                return 0
+            if task_key is None:
                 # Credit the task the consumer's grants were charged
                 # under (a cooperative spill may run inside a sibling
                 # task's acquire).

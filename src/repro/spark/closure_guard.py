@@ -1,0 +1,209 @@
+"""ClosureGuard — the scheduler-side consumer of the closure analyzer.
+
+Speculation and lineage re-execution both rest on an assumption the
+engine never checks: that re-running a task reproduces the original
+attempt's output.  A UDF that calls ``random``, reads ``os.environ`` or
+mutates captured state breaks that assumption — a speculative duplicate
+or a recomputed map output can silently commit *different* records than
+the attempt it replaces.
+
+This module walks the UDF sites of an RDD lineage (record functions,
+shuffle ``merge_value`` combiners, custom partitioners), runs
+:func:`repro.analysis.closures.analyze_closure` on each, and lets the
+scheduler ask two questions before a retry-like action:
+
+* :meth:`ClosureGuard.allow_speculation` — may this stage's tasks be
+  duplicated?
+* :meth:`ClosureGuard.check_reexecution` — may this stage's lineage be
+  re-run to regenerate a lost map output?
+
+Three modes (``config.closure_guard``):
+
+* ``"off"``   — no analysis, no events; everything is allowed.
+* ``"warn"``  — nondeterministic UDFs refuse speculation and emit a
+  ``closure:unsafe_retry`` trace event on re-execution, but recovery
+  proceeds (data loss beats an unrecoverable job).
+* ``"strict"`` — both actions raise
+  :class:`repro.errors.NondeterministicUdfError`.
+
+Verdicts are cached per RDD id; the first analysis of each site emits a
+``closure:verdict`` instant into the tracer so runs are auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from ..analysis.closures import ClosureReport, analyze_value
+from ..errors import NondeterministicUdfError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (context -> guard)
+    from .context import DecaContext
+    from .rdd import RDD, ShuffleDependency
+
+#: Trace category for every guard event.
+TRACE_CATEGORY = "closure"
+
+#: Rule whose presence makes a UDF unsafe to re-run (DECA202).
+_NONDET_RULE = "DECA202"
+
+
+@dataclass(frozen=True)
+class UdfSite:
+    """One user function attached to the lineage graph."""
+
+    rdd_id: int
+    rdd_name: str
+    kind: str               # "map" | "filter" | ... | "merge" | "partitioner"
+    fn: Callable[..., Any]
+
+    @property
+    def label(self) -> str:
+        return f"{self.rdd_name}#{self.kind}"
+
+
+def sites_of(rdd: "RDD",
+             shuffle_dep: "ShuffleDependency | None" = None
+             ) -> Iterator[UdfSite]:
+    """Yield the UDF sites of *rdd*'s stage (narrow lineage only).
+
+    The walk stops at shuffle boundaries: upstream stages' outputs are
+    materialized in the shuffle store, so re-running *this* stage never
+    re-invokes their UDFs.  A shuffle-map stage's own ``merge_value`` /
+    ``partitioner`` live on the *dependency* (owned by the downstream
+    ShuffledRDD), so callers pass it explicitly via *shuffle_dep*.
+    """
+    from .rdd import ShuffleDependency as _ShuffleDep
+
+    if shuffle_dep is not None:
+        if shuffle_dep.merge_value is not None:
+            yield UdfSite(rdd.rdd_id, rdd.name, "merge",
+                          shuffle_dep.merge_value)
+        if shuffle_dep.partitioner is not None:
+            yield UdfSite(rdd.rdd_id, rdd.name, "partitioner",
+                          shuffle_dep.partitioner)
+    seen: set[int] = set()
+    stack: list[RDD] = [rdd]
+    while stack:
+        node = stack.pop()
+        if node.rdd_id in seen:
+            continue
+        seen.add(node.rdd_id)
+        fn = getattr(node, "_record_fn", None)
+        if fn is not None:
+            kind = getattr(node, "_record_kind", None) or "udf"
+            yield UdfSite(node.rdd_id, node.name, kind, fn)
+        dep_obj = getattr(node, "shuffle_dep", None)
+        if dep_obj is not None:
+            # The reduce side of a shuffle re-applies the combiner when
+            # merging fetched blocks; it belongs to this stage.
+            if dep_obj.merge_value is not None:
+                yield UdfSite(node.rdd_id, node.name, "merge",
+                              dep_obj.merge_value)
+        for dep in node.deps:
+            if isinstance(dep, _ShuffleDep):
+                continue    # stage boundary: parent output is materialized
+            stack.append(dep.parent)
+
+
+class ClosureGuard:
+    """Per-context cache of closure verdicts plus the retry policy."""
+
+    def __init__(self, ctx: "DecaContext") -> None:
+        self.ctx = ctx
+        self.mode = ctx.config.closure_guard
+        self._reports: dict[tuple[int, str], ClosureReport | None] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "off"
+
+    # -- analysis ------------------------------------------------------------
+    def report_for(self, site: UdfSite) -> ClosureReport | None:
+        """Analyze (once) and return the report for one UDF site."""
+        key = (site.rdd_id, site.kind)
+        if key in self._reports:
+            return self._reports[key]
+        try:
+            report = analyze_value(site.fn)
+        except TypeError:
+            report = None
+        self._reports[key] = report
+        if report is not None:
+            self._emit_verdict(site, report)
+        return report
+
+    def unsafe_sites(self, rdd: "RDD",
+                     shuffle_dep: "ShuffleDependency | None" = None
+                     ) -> list[tuple[UdfSite, ClosureReport]]:
+        """The stage's sites whose verdict is ``nondeterministic``."""
+        unsafe: list[tuple[UdfSite, ClosureReport]] = []
+        for site in sites_of(rdd, shuffle_dep):
+            report = self.report_for(site)
+            if report is None:
+                continue
+            if report.determinism == "nondeterministic":
+                unsafe.append((site, report))
+        return unsafe
+
+    # -- policy --------------------------------------------------------------
+    def allow_speculation(self, rdd: "RDD", stage_id: int,
+                          shuffle_dep: "ShuffleDependency | None" = None
+                          ) -> bool:
+        """May the scheduler launch duplicate attempts for this stage?
+
+        ``warn`` refuses (returns False, emits ``closure:unsafe_retry``);
+        ``strict`` raises.  Speculation is an optimisation, so refusing
+        it is always safe.
+        """
+        if not self.enabled:
+            return True
+        unsafe = self.unsafe_sites(rdd, shuffle_dep)
+        if not unsafe:
+            return True
+        site, report = unsafe[0]
+        if self.mode == "strict":
+            raise NondeterministicUdfError(site.rdd_name, site.label,
+                                           "speculation")
+        self._emit_unsafe(site, report, "speculation", stage_id)
+        return False
+
+    def check_reexecution(self, rdd: "RDD", stage_id: int,
+                          shuffle_dep: "ShuffleDependency | None" = None
+                          ) -> None:
+        """Gate a lineage re-execution (lost/corrupt map output).
+
+        ``warn`` emits ``closure:unsafe_retry`` and lets recovery proceed
+        — the alternative is an unrecoverable job.  ``strict`` raises:
+        the user asked for divergent recomputation to be an error.
+        """
+        if not self.enabled:
+            return
+        for site, report in self.unsafe_sites(rdd, shuffle_dep):
+            if self.mode == "strict":
+                raise NondeterministicUdfError(site.rdd_name, site.label,
+                                               "lineage re-execution")
+            self._emit_unsafe(site, report, "lineage-reexecution", stage_id)
+
+    # -- trace events --------------------------------------------------------
+    def _now_ms(self) -> float:
+        return max(e.clock.now_ms for e in self.ctx.executors)
+
+    def _emit_verdict(self, site: UdfSite, report: ClosureReport) -> None:
+        self.ctx.tracer.instant(
+            "closure:verdict", TRACE_CATEGORY, self._now_ms(),
+            udf=site.label, rdd_id=site.rdd_id,
+            determinism=report.determinism, purity=report.purity,
+            escape=report.escape,
+            rules=sorted({h.rule_id for h in report.active_hazards}))
+
+    def _emit_unsafe(self, site: UdfSite, report: ClosureReport,
+                     action: str, stage_id: int) -> None:
+        hazards = [h for h in report.active_hazards
+                   if h.rule_id == _NONDET_RULE]
+        reason = hazards[0].reason if hazards else "nondeterministic"
+        self.ctx.tracer.instant(
+            "closure:unsafe_retry", TRACE_CATEGORY, self._now_ms(),
+            udf=site.label, rdd_id=site.rdd_id, stage_id=stage_id,
+            action=action, mode=self.mode, reason=reason)

@@ -36,6 +36,7 @@ from .rdd import (
     UdtInfo,
 )
 from .faults import FaultInjector
+from .closure_guard import ClosureGuard
 from .scheduler import DAGScheduler, TaskContext
 from .executor import Executor
 from .shuffle import ShuffleBlockStore, ShufflePlan
@@ -92,6 +93,8 @@ class DecaContext:
         for executor in self.executors:
             executor.fault_injector = self.fault_injector
         self.scheduler = DAGScheduler(self)
+        # Retry policy for nondeterministic UDFs (docs/closure_analysis.md).
+        self.closure_guard = ClosureGuard(self)
         self.partitioner = stable_hash
         # Per-context id sequences: a fresh context numbers RDDs and
         # shuffles from zero, keeping same-seed runs byte-identical even

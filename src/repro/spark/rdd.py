@@ -218,10 +218,15 @@ class RDD:
     def map_partitions(self, f: Callable[[Iterator[Any]], Iterable[Any]],
                        name: str | None = None,
                        udt_info: UdtInfo | None = None) -> "RDD":
-        return MapPartitionsRDD(
+        out = MapPartitionsRDD(
             self, lambda it, task: f(it),
             name or f"{self.name}.mapPartitions", per_record=False,
             udt_info=udt_info)
+        # Registered for the closure analyzer; "mappartitions" is not a
+        # fusible kind, so core.fusion ignores it.
+        out._record_fn = f
+        out._record_kind = "mappartitions"
+        return out
 
     def map_values(self, f: Callable[[Any], Any],
                    name: str | None = None) -> "RDD":
@@ -518,11 +523,13 @@ def _range_partitioner(parent: "RDD", num_reduce: int,
             parent, sample_partition,
             name=f"{parent.name}.rangeSample")
         for key in part)
-    boundaries: list = []
+    # A tuple: the partitioner closure captures it, and captured mutable
+    # containers are exactly what the closure analyzer warns about.
+    boundaries: tuple = ()
     if sampled and num_reduce > 1:
         step = len(sampled) / num_reduce
-        boundaries = [sampled[int(i * step)]
-                      for i in range(1, num_reduce)]
+        boundaries = tuple(sampled[int(i * step)]
+                           for i in range(1, num_reduce))
 
     def partition(key) -> int:
         return bisect.bisect_right(boundaries, key)

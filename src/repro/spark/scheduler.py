@@ -376,6 +376,11 @@ class DAGScheduler:
             # The shuffle never ran (output lost before production) —
             # nothing to regenerate; the stage loop will produce it.
             return
+        # Re-running the lineage of a nondeterministic UDF can regenerate
+        # *different* records than the lost output; warn mode logs it
+        # (recovery still beats an unrecoverable job), strict raises.
+        self.ctx.closure_guard.check_reexecution(
+            stage.rdd, stage.stage_id, stage.shuffle_dep)
         recovery = job_metrics.recovery
         recovery.recomputed_partitions += 1
         stage_metrics = StageMetrics(
@@ -404,6 +409,11 @@ class DAGScheduler:
         """
         cfg = self.ctx.config.faults
         if not cfg.speculation:
+            return
+        # Speculation is only an optimisation: a stage whose UDFs are
+        # nondeterministic simply is not duplicated (strict mode raises).
+        if not self.ctx.closure_guard.allow_speculation(
+                stage.rdd, stage.stage_id, stage.shuffle_dep):
             return
         winners: dict[int, TaskMetrics] = {}
         for metrics in stage_metrics.tasks:

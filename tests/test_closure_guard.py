@@ -1,0 +1,183 @@
+"""ClosureGuard regression tests: speculation and lineage re-execution
+against the fault-injection machinery, in all three guard modes.
+
+The contract (docs/closure_analysis.md): with a nondeterministic UDF in
+the affected stage, ``warn`` refuses speculation and logs a
+``closure:unsafe_retry`` trace event on lineage re-execution but lets
+recovery proceed; ``strict`` raises
+:class:`repro.errors.NondeterministicUdfError`; ``off`` performs no
+analysis at all.
+"""
+
+import random
+
+import pytest
+
+from repro.config import (
+    DecaConfig,
+    ExecutionMode,
+    FaultConfig,
+    MB,
+    ScriptedFault,
+)
+from repro.errors import NondeterministicUdfError
+from repro.lint import run_closure_rules
+from repro.spark import DecaContext
+
+
+def make_ctx(closure_guard="off", faults=None, **overrides):
+    defaults = dict(mode=ExecutionMode.SPARK, heap_bytes=32 * MB,
+                    num_executors=2, tasks_per_executor=2,
+                    closure_guard=closure_guard)
+    if faults is not None:
+        defaults["faults"] = faults
+    defaults.update(overrides)
+    return DecaContext(DecaConfig(**defaults))
+
+
+def nondet_counts(ctx, records=400, keys=20, partitions=4):
+    """A wordcount whose map stage carries a nondeterministic UDF."""
+    data = [(i % keys, 1) for i in range(records)]
+    pairs = ctx.parallelize(data, partitions, name="cg.input") \
+               .map(lambda kv: (kv[0], kv[1] + int(random.random() * 0.0)),
+                    name="cg.jitter")
+    return pairs.reduce_by_key(lambda a, b: a + b, partitions,
+                               name="cg.counts")
+
+
+def clean_counts(ctx, records=400, keys=20, partitions=4):
+    data = [(i % keys, 1) for i in range(records)]
+    return ctx.parallelize(data, partitions, name="cg.input") \
+              .map(lambda kv: (kv[0], kv[1]), name="cg.ident") \
+              .reduce_by_key(lambda a, b: a + b, partitions,
+                             name="cg.counts")
+
+
+def closure_events(ctx, name):
+    return [e for e in ctx.tracer.by_category("closure")
+            if e.name == name]
+
+
+CORRUPT = FaultConfig(scripted=(
+    ScriptedFault("fetch-corrupt", shuffle_id=-1, map_part=0,
+                  reduce_part=0),))
+
+
+class TestLineageReexecution:
+    def test_warn_mode_logs_unsafe_retry_and_recovers(self):
+        ctx = make_ctx("warn", faults=CORRUPT)
+        result = dict(nondet_counts(ctx).collect())
+        assert sum(result.values()) == 400
+        events = closure_events(ctx, "closure:unsafe_retry")
+        assert events, "warn mode must log the unsafe re-execution"
+        assert any(e.args["action"] == "lineage-reexecution"
+                   for e in events)
+        assert all(e.args["mode"] == "warn" for e in events)
+        # Recovery still happened.
+        assert ctx.finish().recovery.recomputed_partitions >= 1
+
+    def test_strict_mode_raises_on_reexecution(self):
+        ctx = make_ctx("strict", faults=CORRUPT)
+        with pytest.raises(NondeterministicUdfError) as info:
+            nondet_counts(ctx).collect()
+        assert info.value.action == "lineage re-execution"
+
+    def test_deterministic_udf_reexecutes_in_strict_mode(self):
+        ctx = make_ctx("strict", faults=CORRUPT)
+        result = dict(clean_counts(ctx).collect())
+        assert sum(result.values()) == 400
+        assert ctx.finish().recovery.recomputed_partitions >= 1
+        assert not closure_events(ctx, "closure:unsafe_retry")
+
+    def test_off_mode_recovers_without_any_analysis(self):
+        ctx = make_ctx("off", faults=CORRUPT)
+        result = dict(nondet_counts(ctx).collect())
+        assert sum(result.values()) == 400
+        assert not ctx.tracer.by_category("closure")
+        assert ctx.finish().recovery.recomputed_partitions >= 1
+
+
+SPECULATE = FaultConfig(speculation=True, speculation_multiplier=1.2)
+
+
+def skewed_job(ctx):
+    """One hot key makes a reduce partition the straggler."""
+    data = [("hot" if i % 10 else f"cold{i}", 1) for i in range(3000)]
+    return ctx.parallelize(data, 4, name="sp.pairs") \
+              .group_by_key(4, name="sp.groups") \
+              .map(lambda kv: (kv[0], len(kv[1]) + int(0 * random.random())),
+                   name="sp.lens")
+
+
+class TestSpeculation:
+    def test_warn_mode_refuses_to_speculate_nondet_stage(self):
+        ctx = make_ctx("warn", faults=SPECULATE)
+        result = dict(skewed_job(ctx).collect())
+        assert result["hot"] == 2700
+        events = closure_events(ctx, "closure:unsafe_retry")
+        assert any(e.args["action"] == "speculation" for e in events)
+        # The nondeterministic result stage was never duplicated.
+        spec = [t for job in ctx.finish().jobs for s in job.stages
+                for t in s.tasks
+                if t.speculative and t.stage_id == events[0].args["stage_id"]]
+        assert spec == []
+
+    def test_strict_mode_raises_on_speculation(self):
+        ctx = make_ctx("strict", faults=SPECULATE)
+        with pytest.raises(NondeterministicUdfError) as info:
+            skewed_job(ctx).collect()
+        assert info.value.action == "speculation"
+
+    def test_off_mode_still_speculates(self):
+        ctx = make_ctx("off", faults=SPECULATE)
+        result = dict(skewed_job(ctx).collect())
+        assert result["hot"] == 2700
+        assert not ctx.tracer.by_category("closure")
+        assert ctx.finish().recovery.speculative_tasks >= 1
+
+    def test_clean_stages_speculate_in_warn_mode(self):
+        ctx = make_ctx("warn", faults=SPECULATE)
+        data = [("hot" if i % 10 else f"cold{i}", 1) for i in range(3000)]
+        counts = ctx.parallelize(data, 4, name="sp.pairs") \
+                    .group_by_key(4, name="sp.groups") \
+                    .map(lambda kv: (kv[0], len(kv[1])), name="sp.lens")
+        assert dict(counts.collect())["hot"] == 2700
+        assert ctx.finish().recovery.speculative_tasks >= 1
+        assert not closure_events(ctx, "closure:unsafe_retry")
+
+
+class TestVerdictEvents:
+    def test_first_analysis_emits_closure_verdict(self):
+        ctx = make_ctx("warn", faults=SPECULATE)
+        dict(skewed_job(ctx).collect())
+        verdicts = closure_events(ctx, "closure:verdict")
+        assert verdicts
+        nondet = [e for e in verdicts
+                  if e.args["determinism"] == "nondeterministic"]
+        assert nondet and "DECA202" in nondet[0].args["rules"]
+
+
+class TestSyntheticUdfCaughtBothWays:
+    """Acceptance: one nondeterministic UDF caught statically (DECA202)
+    AND differentially (DECA211) by the lint double-run."""
+
+    def test_static_and_differential_detection(self):
+        ctx = make_ctx("off")
+        rdd = ctx.parallelize(list(range(64)), 4, name="syn.input") \
+                 .map(lambda x: (x, random.random()), name="syn.nondet")
+        assert rdd is not None
+        findings, summary = run_closure_rules("synthetic", ctx)
+        rules = {f.rule_id for f in findings}
+        assert "DECA202" in rules, "static detection failed"
+        assert "DECA211" in rules, "differential detection failed"
+        assert summary["udfs_nondeterministic"] >= 1
+        assert summary["double_run_mismatches"] >= 1
+
+    def test_double_run_never_contradicts_deterministic_verdict(self):
+        ctx = make_ctx("off")
+        ctx.parallelize(list(range(64)), 4, name="det.input") \
+           .map(lambda x: (x % 4, x * x), name="det.square")
+        findings, summary = run_closure_rules("synthetic", ctx)
+        assert not any(f.rule_id == "DECA211" for f in findings)
+        assert summary["double_run_mismatches"] == 0
+        assert summary["double_runs"] >= 1

@@ -79,6 +79,48 @@ class TestOptimizerCachePlans:
         assert report.global_size_type is SizeType.STATIC_FIXED
 
 
+class TestEscapeVerdictDowngrade:
+    """§4.2: records that outlive the consuming UDF must not live in
+    pages — the closure analyzer's escape verdict forces object form."""
+
+    def _points(self, ctx):
+        from repro.apps.logistic_regression import labeled_point_udt_info
+        return ctx.parallelize([(1.0, (1.0,) * 10)], 1).map(
+            lambda r: r, udt_info=labeled_point_udt_info(10))
+
+    def test_escaping_consumer_forces_object_form(self):
+        ctx = deca_ctx()
+        points = self._points(ctx)
+        sink = []
+
+        def leak(record):
+            sink.append(record)
+            return record
+
+        points.map(leak)  # registered consumer lets records escape
+        plan = ctx.plan_cache(points)
+        assert plan.strategy is StorageStrategy.OBJECTS
+        (report,) = ctx._optimizer.reports
+        assert not report.decomposed
+        assert "escape" in report.reason
+        assert "leak" in report.reason
+
+    def test_clean_consumer_still_decomposes(self):
+        ctx = deca_ctx()
+        points = self._points(ctx)
+        points.map(lambda r: (r[0] * 2.0, r[1]))
+        plan = ctx.plan_cache(points)
+        assert plan.strategy is StorageStrategy.DECA_PAGES
+
+    def test_downgrade_is_memoized_with_the_plan(self):
+        ctx = deca_ctx()
+        points = self._points(ctx)
+        sink = []
+        points.map(lambda r: sink.append(r))
+        assert ctx.plan_cache(points) is ctx.plan_cache(points)
+        assert len(ctx._optimizer.reports) == 1
+
+
 class TestOptimizerShufflePlans:
     def _wc_dep(self, ctx):
         from repro.apps.wordcount import wordcount_udt_info

@@ -48,6 +48,24 @@ class TestLintCli:
         assert "not in baseline" in captured.err
         assert "DECA006" in captured.err
 
+    def test_rules_filter_keeps_only_matching_family(self, capsys):
+        # pr emits a DECA006 note; the closure-family filter drops it.
+        assert main(["lint", "--apps", "pr", "--format", "json",
+                     "--rules", "DECA2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        findings = [f for app in payload["apps"]
+                    for f in app["findings"]]
+        assert all(f["rule"].startswith("DECA2") for f in findings)
+        assert payload["totals"]["note"] == 0
+        # The closure summary still describes the unfiltered run.
+        closures = payload["apps"][0]["summary"]["closures"]
+        assert closures["udfs_analyzed"] == closures["udf_sites"] > 0
+
+    def test_rules_filter_passes_unfiltered_without_prefixes(self, capsys):
+        assert main(["lint", "--apps", "pr", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["totals"]["note"] >= 1    # the DECA006 note
+
     def test_unknown_app_name_exits_with_known_names(self):
         with pytest.raises(SystemExit) as excinfo:
             main(["lint", "--apps", "nope"])

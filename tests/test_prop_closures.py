@@ -1,0 +1,118 @@
+"""Property-based tests for the closure analyzer.
+
+Two invariants over generated UDFs:
+
+* **no false positives** — randomly generated *pure* closures (arithmetic
+  over the argument, captured immutable constants, pure builtins) are
+  never flagged and always classify ``deterministic`` / ``pure``;
+* **no false negatives** — seeding a generated closure with a known
+  impurity (a ``random`` call, a global store, a captured-list append)
+  always produces the matching rule id.
+"""
+
+import random as random_module
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.closures import analyze_closure, iter_hazard_rules
+
+_PURE_CALLS = ("abs", "min", "max", "len", "sum", "round")
+
+
+@st.composite
+def pure_expr(draw, depth=0):
+    """A pure arithmetic expression over ``x`` and captured constants."""
+    if depth >= 3:
+        return draw(st.sampled_from(
+            ["x", "x", "c0", "c1", str(draw(st.integers(1, 9)))]))
+    kind = draw(st.sampled_from(
+        ["leaf", "leaf", "binop", "call", "tuple_index"]))
+    if kind == "leaf":
+        return draw(pure_expr(depth=3))
+    if kind == "binop":
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        left = draw(pure_expr(depth=depth + 1))
+        right = draw(pure_expr(depth=depth + 1))
+        return f"({left} {op} {right})"
+    if kind == "call":
+        fn = draw(st.sampled_from(_PURE_CALLS))
+        inner = draw(pure_expr(depth=depth + 1))
+        if fn in ("len", "sum", "min", "max"):
+            return f"{fn}((1, 2, {inner}))"
+        return f"{fn}({inner})"
+    index = draw(st.integers(0, 2))
+    return f"t0[{index}]"
+
+
+def build_udf(body_lines, globals_extra=None):
+    """Compile a UDF from source; exec'd code exercises the no-source
+    pragma fallback too."""
+    namespace = {
+        "c0": 3, "c1": 2.5, "t0": (1, 2, 3),
+        "__builtins__": __builtins__,
+    }
+    namespace.update(globals_extra or {})
+    source = "def udf(x):\n" + "".join(
+        f"    {line}\n" for line in body_lines)
+    exec(source, namespace)
+    return namespace["udf"]
+
+
+class TestGeneratedPureClosuresNeverFlagged:
+    @given(pure_expr())
+    @settings(max_examples=60, deadline=None)
+    def test_pure_expression_closure_is_clean(self, expr):
+        udf = build_udf([f"return {expr}"])
+        report = analyze_closure(udf)
+        assert report.active_hazards == (), (
+            f"false positive on pure UDF: return {expr} -> "
+            f"{list(iter_hazard_rules(report))}")
+        assert report.determinism == "deterministic"
+        assert report.purity == "pure"
+        assert report.escape == "none"
+
+    @given(pure_expr(), pure_expr())
+    @settings(max_examples=30, deadline=None)
+    def test_pure_multi_statement_closure_is_clean(self, a, b):
+        udf = build_udf([f"y = {a}", f"z = y + {b}", "return (y, z)"])
+        report = analyze_closure(udf)
+        assert report.active_hazards == ()
+        assert report.determinism == "deterministic"
+
+
+class TestSeededImpuritiesAlwaysFlagged:
+    @given(pure_expr())
+    @settings(max_examples=30, deadline=None)
+    def test_random_call_always_flags_deca202(self, expr):
+        udf = build_udf([f"return {expr} + random.random()"],
+                        {"random": random_module})
+        rules = set(iter_hazard_rules(analyze_closure(udf)))
+        assert "DECA202" in rules
+        assert analyze_closure(udf).determinism == "nondeterministic"
+
+    @given(pure_expr())
+    @settings(max_examples=30, deadline=None)
+    def test_global_store_always_flags_deca204(self, expr):
+        udf = build_udf(["global sink", f"sink = {expr}",
+                         "return sink"])
+        rules = set(iter_hazard_rules(analyze_closure(udf)))
+        assert "DECA204" in rules
+        assert analyze_closure(udf).purity == "impure"
+
+    @given(pure_expr())
+    @settings(max_examples=30, deadline=None)
+    def test_captured_list_append_always_flags_deca204(self, expr):
+        udf = build_udf([f"acc.append({expr})", "return x"],
+                        {"acc": []})
+        rules = set(iter_hazard_rules(analyze_closure(udf)))
+        assert "DECA204" in rules
+        # The captured list itself is a mutable global capture.
+        assert "DECA206" in rules
+
+    @given(pure_expr())
+    @settings(max_examples=20, deadline=None)
+    def test_argument_escape_into_captured_list_flags_deca205(self, expr):
+        udf = build_udf(["acc.append(x)", f"return {expr}"],
+                        {"acc": []})
+        rules = set(iter_hazard_rules(analyze_closure(udf)))
+        assert "DECA205" in rules
