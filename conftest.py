@@ -1,0 +1,82 @@
+"""Cross-backend test-matrix configuration.
+
+The CI ``backend-matrix`` job re-runs the tier-1 suite with
+``REPRO_EXECUTION_BACKEND=mp`` so every semantic test also executes on
+the real multiprocess backend (docs/execution_backends.md).  Most tests
+pass unchanged — same results, same scheduler decisions — but a known
+set asserts *simulation-only observables*:
+
+* simulated cost models (GC pauses, spill/swap charges, backoff waits on
+  the simulated clock) — the mp backend reports real wall time instead;
+* driver-side closure side effects (``foreach`` into a local list,
+  compute counters) — under mp the closure runs in a forked worker, so
+  the driver copy is never mutated (that is the point of the backend);
+* executor-local cache/heap introspection — mp keeps cache blocks in
+  the driver's backend table as shared segments, not on sim executors.
+
+Those are skipped *by name* here, centrally, so the matrix job stays an
+honest "everything else must pass" gate and the list is auditable.
+"""
+
+import os
+
+import pytest
+
+#: Whole modules that exist to pin down the simulated cost model (GC,
+#: swap, spill, retry backoff, trace timestamps).  Module -> reason.
+MP_SKIP_MODULES = {
+    "test_cache_swap_details.py":
+        "asserts simulated heap/swap cost accounting",
+    "test_closure_guard.py":
+        "asserts sim-path speculation/retry decisions on simulated clocks",
+    "test_fault_tolerance.py":
+        "asserts simulated recovery costs (mp fault path is covered by "
+        "tests/test_exec_backend.py)",
+    "test_obs_tracing.py":
+        "asserts simulated-clock trace timestamps (mp traces are covered "
+        "by tests/test_exec_trace.py)",
+    "test_spark_cache_shuffle.py":
+        "asserts sim executor cache/heap/spill internals",
+}
+
+#: Individual tests inside otherwise mp-clean modules.  Nodeid suffix
+#: ("module::Class::test") -> reason.
+MP_SKIP_TESTS = {
+    "test_apps_integration.py::TestLogisticRegression::"
+    "test_cached_bytes_reported":
+        "cached_bytes counts sim executor blocks",
+    "test_core_fusion.py::TestFusionCorrectness::"
+    "test_filter_short_circuits":
+        "counts operator calls via a driver-side closure side effect",
+    "test_core_fusion.py::TestFusionBoundaries::"
+    "test_cache_point_is_a_barrier":
+        "counts compute calls via a driver-side closure side effect",
+    "test_memory_unified.py::TestUnifiedEndToEnd::"
+    "test_unified_mode_emits_memory_events":
+        "expects sim executor arena events during task execution",
+    "test_spark_context_misc.py::TestRunMetrics::"
+    "test_cached_bytes_reported_per_rdd":
+        "cached_bytes counts sim executor blocks",
+    "test_spark_rdd.py::TestActions::test_reduce_empty_raises":
+        "worker exceptions surface as ExecutionError, not the original",
+    "test_spark_rdd.py::TestActions::test_foreach":
+        "foreach side effects land in the worker process, not the driver",
+    "test_spark_rdd.py::TestCaching::test_cache_blocks_exist_after_first_use":
+        "cache blocks live in the backend's shared-segment table",
+}
+
+
+def pytest_collection_modifyitems(config, items):
+    if os.environ.get("REPRO_EXECUTION_BACKEND") != "mp":
+        return
+    for item in items:
+        module = os.path.basename(str(item.fspath))
+        reason = MP_SKIP_MODULES.get(module)
+        if reason is None:
+            for suffix, why in MP_SKIP_TESTS.items():
+                if item.nodeid.endswith(suffix):
+                    reason = why
+                    break
+        if reason is not None:
+            item.add_marker(pytest.mark.skip(
+                reason=f"sim-only observable under mp backend: {reason}"))

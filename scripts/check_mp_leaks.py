@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""CI leak guard for the mp execution backend.
+
+Runs *after* the mp test/bench steps and fails the job if the run left
+anything behind that a correct segment lifecycle would have cleaned up:
+
+* shared-memory segments — every segment the backend creates is named
+  ``repro-mp-*`` (repro.exec.shm.SEGMENT_PREFIX), so anything with that
+  prefix still linked under ``/dev/shm`` is a leak of the registry,
+  the atexit sweep or the worker-death orphan sweep;
+* worker processes — mp workers are forked children of the test
+  process and share its command line, so any surviving ``pytest`` /
+  ``repro.bench`` process after those steps finished is a stray worker
+  (a hang the per-test timeout should have reaped).
+
+Exit status 0 = clean, 1 = leaks found (details on stdout).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+SHM_DIR = "/dev/shm"
+SEGMENT_PREFIX = "repro-mp"
+
+#: Command lines mp workers inherit from the processes that fork them.
+WORKER_PATTERNS = ("python -m pytest", "-m repro.bench")
+
+
+def leaked_segments() -> list[str]:
+    if not os.path.isdir(SHM_DIR):
+        return []
+    return sorted(entry for entry in os.listdir(SHM_DIR)
+                  if entry.startswith(SEGMENT_PREFIX))
+
+
+def stray_processes() -> list[str]:
+    strays: list[str] = []
+    for pattern in WORKER_PATTERNS:
+        try:
+            proc = subprocess.run(["pgrep", "-af", pattern],
+                                  capture_output=True, text=True,
+                                  timeout=30)
+        except (FileNotFoundError, subprocess.TimeoutExpired):
+            continue
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            pid = int(line.split(None, 1)[0])
+            if pid == os.getpid():
+                continue
+            strays.append(line)
+    return strays
+
+
+def main() -> int:
+    segments = leaked_segments()
+    strays = stray_processes()
+    if segments:
+        print(f"LEAK: {len(segments)} shared-memory segment(s) "
+              f"still linked under {SHM_DIR}:")
+        for name in segments:
+            print(f"  {name}")
+    if strays:
+        print(f"LEAK: {len(strays)} stray worker process(es):")
+        for line in strays:
+            print(f"  {line}")
+    if segments or strays:
+        return 1
+    print("clean: no leaked segments, no stray workers")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -145,6 +145,34 @@ def main(argv: list[str] | None = None) -> int:
     mem.add_argument("--json", metavar="NAME",
                      help="also write benchmarks/results/<NAME>.json")
 
+    be = sub.add_parser(
+        "backend",
+        help="sim vs mp execution-backend ablation "
+             "(cross-backend equivalence + zero-copy counters)")
+    be.add_argument("--apps", nargs="*", default=["wc", "pr"],
+                    choices=["wc", "pr"],
+                    help="workloads to compare (default: both)")
+    be.add_argument("--backends", nargs="*", default=["sim", "mp"],
+                    choices=["sim", "mp"],
+                    help="execution backends to run (default: both)")
+    be.add_argument("--mode", default="deca",
+                    choices=[m.value for m in ExecutionMode])
+    be.add_argument("--words", type=int, default=40_000)
+    be.add_argument("--keys", type=int, default=2_000)
+    be.add_argument("--nodes", type=int, default=400)
+    be.add_argument("--edges", type=int, default=2_000)
+    be.add_argument("--iterations", type=int, default=3)
+    be.add_argument("--partitions", type=int, default=4)
+    be.add_argument("--seed", type=int, default=17)
+    be.add_argument("--json", metavar="NAME",
+                    help="also write benchmarks/results/<NAME>.json")
+    be.add_argument("--digest-dir", metavar="DIR",
+                    help="write <app>_<backend>.digest files (CI cmp)")
+    be.add_argument("--check", action="store_true",
+                    help="exit 1 unless every backend produced identical "
+                         "results per app (and, in deca mode, mp moved "
+                         "decomposed data without pickling records)")
+
     tr = sub.add_parser(
         "trace",
         help="instrumented WordCount writing a Chrome trace artifact")
@@ -165,6 +193,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_trace(args)
     if args.app == "memory":
         return _run_memory(args)
+    if args.app == "backend":
+        return _run_backend(args)
     modes = _modes(args.modes)
 
     rows = []
@@ -296,6 +326,129 @@ def _run_memory(args) -> int:
         path = write_json_result(args.json, rows_as_json(rows))
         print(f"wrote {path}")
     return 0
+
+
+def _run_backend(args) -> int:
+    """The ``backend`` subcommand: the sim-vs-mp ablation.
+
+    Runs the same seeded WC / PageRank inputs under each backend and
+    reports *real* wall seconds plus the cross-process traffic counters
+    — ``bytes_pickled_records`` should be ~0 wherever the optimizer
+    decomposed the data (those payloads travel as shared segments,
+    ``bytes_shared``).  Sorted-result sha256 digests feed the CI
+    equivalence step.
+    """
+    import hashlib
+    import json
+    import os
+    import random
+    import time
+
+    from ..apps.pagerank import run_pagerank
+    from ..apps.wordcount import run_wordcount
+    from ..config import DecaConfig
+
+    mode = {m.value: m for m in ExecutionMode}[args.mode]
+    rng = random.Random(args.seed)
+    words = [f"w{rng.randrange(args.keys)}" for _ in range(args.words)]
+    edges = sorted({(rng.randrange(args.nodes), rng.randrange(args.nodes))
+                    for _ in range(args.edges)})
+
+    def digest_of(items: list) -> str:
+        payload = json.dumps(sorted(repr(item) for item in items))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    cells: list[dict] = []
+    digests: dict[str, dict[str, str]] = {}
+    for app in args.apps:
+        for backend in args.backends:
+            cfg = DecaConfig(mode=mode, execution_backend=backend)
+            start = time.perf_counter()
+            if app == "wc":
+                run = run_wordcount(words, cfg,
+                                    num_partitions=args.partitions)
+                items = sorted(run.result.items())
+            else:
+                run = run_pagerank(edges, cfg,
+                                   iterations=args.iterations,
+                                   num_partitions=args.partitions)
+                items = sorted(run.result)
+            wall_s = time.perf_counter() - start
+            stats = dict(run.metrics.backend)
+            digest = digest_of(items)
+            digests.setdefault(app, {})[backend] = digest
+            cells.append({
+                "app": app, "backend": backend, "mode": mode.value,
+                "wall_s": round(wall_s, 4), "digest": digest,
+                "bytes_pickled_records": stats.get(
+                    "bytes_pickled_records", 0),
+                "bytes_pickled_results": stats.get(
+                    "bytes_pickled_results", 0),
+                "bytes_shared": stats.get("bytes_shared", 0),
+                "segments_created": stats.get("segments_created", 0),
+                "mp_tasks": stats.get("mp_tasks", 0),
+            })
+
+    header = (f"{'app':<4} {'backend':<8} {'wall(s)':>8} "
+              f"{'pickled-rec':>12} {'pickled-res':>12} "
+              f"{'shared':>10} {'segs':>5}  digest")
+    print(f"repro.bench backend · mode={mode.value}")
+    print(header)
+    print("-" * len(header))
+    for cell in cells:
+        print(f"{cell['app']:<4} {cell['backend']:<8} "
+              f"{cell['wall_s']:>8.3f} "
+              f"{cell['bytes_pickled_records']:>12} "
+              f"{cell['bytes_pickled_results']:>12} "
+              f"{cell['bytes_shared']:>10} "
+              f"{cell['segments_created']:>5}  "
+              f"{cell['digest'][:16]}")
+
+    if args.digest_dir:
+        os.makedirs(args.digest_dir, exist_ok=True)
+        for app, per_backend in digests.items():
+            for backend, digest in per_backend.items():
+                path = os.path.join(args.digest_dir,
+                                    f"{app}_{backend}.digest")
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(digest + "\n")
+        print(f"wrote digests to {args.digest_dir}/")
+
+    status = 0
+    for app, per_backend in digests.items():
+        if len(set(per_backend.values())) > 1:
+            print(f"MISMATCH: {app} results differ across backends: "
+                  f"{per_backend}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"equivalence: {app} identical across "
+                  f"{sorted(per_backend)}")
+    if args.check and mode is ExecutionMode.DECA:
+        for cell in cells:
+            if cell["backend"] != "mp":
+                continue
+            if cell["app"] == "wc" \
+                    and cell["bytes_pickled_records"] != 0:
+                # WC's shuffle is fully decomposed: every record byte
+                # must have crossed in shared pages.
+                print(f"zero-copy violation: wc/mp pickled "
+                      f"{cell['bytes_pickled_records']} record bytes",
+                      file=sys.stderr)
+                status = 1
+            if cell["bytes_shared"] <= 0:
+                print(f"zero-copy violation: {cell['app']}/mp moved no "
+                      f"bytes through shared segments", file=sys.stderr)
+                status = 1
+
+    if args.json:
+        path = write_json_result(args.json, {
+            "mode": mode.value,
+            "seed": args.seed,
+            "cells": cells,
+            "equivalent": status == 0,
+        })
+        print(f"wrote {path}")
+    return status if args.check else 0
 
 
 def _run_trace(args) -> int:

@@ -14,6 +14,7 @@ what factor, and where the crossovers fall) — see DESIGN.md §5.
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -231,6 +232,21 @@ class FaultConfig:
                               self.fetch_corruption_prob))
 
 
+def _default_execution_backend() -> str:
+    """Backend selection, overridable per-process via the environment.
+
+    ``REPRO_EXECUTION_BACKEND=mp`` flips every context constructed with
+    the default config onto the multiprocess backend — this is how the CI
+    backend matrix runs the whole test suite against real workers without
+    editing any test.
+    """
+    return os.environ.get("REPRO_EXECUTION_BACKEND", "sim")
+
+
+def _default_mp_workers() -> int:
+    return int(os.environ.get("REPRO_MP_WORKERS", "0"))
+
+
 @dataclass(frozen=True)
 class DecaConfig:
     """Top-level configuration of a simulated Deca/Spark deployment."""
@@ -238,6 +254,20 @@ class DecaConfig:
     # --- cluster geometry -------------------------------------------------
     num_executors: int = 4
     tasks_per_executor: int = 4
+
+    # --- execution backend (docs/execution_backends.md) -------------------
+    # ``"sim"`` runs every task inline on the simulated clocks (the
+    # byte-deterministic default); ``"mp"`` runs stages on a real
+    # ``multiprocessing`` worker pool with decomposed shuffle/cache data
+    # crossing process boundaries through shared-memory Deca pages.
+    execution_backend: str = field(
+        default_factory=_default_execution_backend)
+    # Worker processes per stage under the mp backend; 0 means one per
+    # simulated executor (so the split -> executor mapping is preserved).
+    mp_workers: int = field(default_factory=_default_mp_workers)
+    # Wall-clock ceiling for one mp stage wave; a hung worker pool is
+    # terminated (and the stage fails) rather than deadlocking the run.
+    mp_stage_timeout_s: float = 120.0
 
     # --- heap geometry (per executor) ------------------------------------
     heap_bytes: int = 256 * MB
@@ -300,6 +330,14 @@ class DecaConfig:
             raise ConfigError("num_executors must be >= 1")
         if self.tasks_per_executor < 1:
             raise ConfigError("tasks_per_executor must be >= 1")
+        if self.execution_backend not in ("sim", "mp"):
+            raise ConfigError(
+                f"execution_backend must be 'sim' or 'mp': "
+                f"{self.execution_backend!r}")
+        if self.mp_workers < 0:
+            raise ConfigError("mp_workers must be >= 0")
+        if self.mp_stage_timeout_s <= 0:
+            raise ConfigError("mp_stage_timeout_s must be positive")
         if self.heap_bytes <= 0:
             raise ConfigError("heap_bytes must be positive")
         if not 0.0 < self.young_fraction < 1.0:

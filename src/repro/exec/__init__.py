@@ -1,0 +1,17 @@
+"""Pluggable execution backends (sim in-process vs real multiprocess).
+
+See :mod:`repro.exec.backend` for the protocol, :mod:`repro.exec.mp`
+for the multiprocess implementation and :mod:`repro.exec.shm` for the
+shared-memory Deca page segments; ``docs/execution_backends.md`` has
+the full story.
+"""
+
+from .backend import (BackendStats, ExecutionBackend, SimBackend,
+                      create_backend)
+
+__all__ = [
+    "BackendStats",
+    "ExecutionBackend",
+    "SimBackend",
+    "create_backend",
+]

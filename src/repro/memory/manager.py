@@ -66,6 +66,51 @@ class DecaMemoryManager:
             self.touch(group)
         return group
 
+    def new_shared_group(self, name: str, segment, *,
+                         page_bytes: int | None = None) -> PageGroup:
+        """Allocate a page group whose page buffers live in *segment*.
+
+        *segment* is a :class:`repro.exec.shm.SharedPageSegment` (or any
+        object with an ``allocate(nbytes) -> memoryview`` bump
+        allocator).  Records appended to the group are packed directly
+        into shared memory, so another process can map the segment and
+        read them in place — no serialization, ever.
+        """
+        if name in self._groups:
+            raise PageError(f"page group {name!r} already exists")
+        group = PageGroup(
+            name,
+            page_bytes if page_bytes is not None else self.config.page_bytes,
+            heap=self.heap,
+            on_reclaim=self._forget,
+            allocator=segment.allocate,
+        )
+        self._groups[name] = group
+        return group
+
+    def attach_shared_group(self, ref, name: str | None = None) -> PageGroup:
+        """Attach a shared segment another process packed as a group.
+
+        The group is tracked like any other; when its last page-info
+        closes, this process's mapping is detached and the manager
+        forgets the group.  Unlinking the segment itself is the driver
+        registry's decision (refcounted across the whole run).
+        """
+        from ..exec.shm import attach_page_group
+        group = attach_page_group(ref, group_name=name)
+        if group.name in self._groups:
+            raise PageError(f"page group {group.name!r} already exists")
+        detach = group._on_reclaim
+
+        def _reclaim(g: PageGroup) -> None:
+            if detach is not None:
+                detach(g)
+            self._forget(g)
+
+        group._on_reclaim = _reclaim
+        self._groups[group.name] = group
+        return group
+
     def _resized(self, group: PageGroup, delta: int) -> None:
         if self.arena is not None:
             self.arena.storage_grow(group.name, delta)

@@ -51,13 +51,25 @@ def remove_record_observer(observer: RecordObserver) -> None:
 
 
 class Page:
-    """One fixed-size byte array."""
+    """One fixed-size byte array.
+
+    The payload is a process-private ``bytearray`` by default; a page can
+    instead wrap an externally owned writable *buffer* (a ``memoryview``
+    into a ``multiprocessing.shared_memory`` segment), which is how Deca
+    pages cross process boundaries without a serialization step — the
+    accessors below work identically on both.
+    """
 
     __slots__ = ("index", "data", "used")
 
-    def __init__(self, index: int, nbytes: int) -> None:
+    def __init__(self, index: int, nbytes: int,
+                 buffer: bytearray | memoryview | None = None) -> None:
+        if buffer is not None and len(buffer) != nbytes:
+            raise PageError(
+                f"external page buffer is {len(buffer)} B, "
+                f"expected {nbytes} B")
         self.index = index
-        self.data = bytearray(nbytes)
+        self.data = bytearray(nbytes) if buffer is None else buffer
         self.used = 0
 
     @property
@@ -96,13 +108,20 @@ class PageGroup:
     def __init__(self, name: str, page_bytes: int,
                  heap: SimHeap | None = None,
                  on_reclaim: Callable[["PageGroup"], None] | None = None,
-                 on_resize: Callable[["PageGroup", int], None] | None = None
+                 on_resize: Callable[["PageGroup", int], None] | None = None,
+                 allocator: Callable[[int], bytearray | memoryview]
+                 | None = None,
                  ) -> None:
         if page_bytes <= 0:
             raise PageError(f"page size must be positive: {page_bytes}")
         self.name = name
         self.page_bytes = page_bytes
         self.heap = heap
+        # Page-buffer source: ``None`` allocates process-private
+        # bytearrays; a segment-backed group passes a bump allocator over
+        # a shared-memory segment (repro.exec.shm), so its record bytes
+        # are readable in place from other processes.
+        self.allocator = allocator
         self.pages: list[Page] = []
         self.refcount = 0
         self.reclaimed = False
@@ -176,7 +195,8 @@ class PageGroup:
         return PagePointer(page.index, offset, size)
 
     def _new_page(self, nbytes: int) -> Page:
-        page = Page(len(self.pages), nbytes)
+        buffer = self.allocator(nbytes) if self.allocator else None
+        page = Page(len(self.pages), nbytes, buffer=buffer)
         if self.heap is not None and self._alloc_group is not None:
             # One byte array object on the simulated heap.
             self.heap.allocate(self._alloc_group, 1, array_bytes(1, nbytes))

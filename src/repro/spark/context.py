@@ -23,6 +23,7 @@ from typing import Any, Callable, Iterable, Iterator
 
 from ..config import DecaConfig, ExecutionMode
 from ..errors import ExecutionError
+from ..exec import create_backend
 from ..jvm.objects import Lifetime
 from ..obs import Tracer
 from .cache import CachedBlock, StorageStrategy
@@ -95,6 +96,10 @@ class DecaContext:
         self.scheduler = DAGScheduler(self)
         # Retry policy for nondeterministic UDFs (docs/closure_analysis.md).
         self.closure_guard = ClosureGuard(self)
+        # How stages execute: the sim backend declines every stage (the
+        # scheduler's in-process loop runs); the mp backend runs them on
+        # forked workers with shared-memory pages (repro.exec).
+        self.backend = create_backend(self)
         self.partitioner = stable_hash
         # Per-context id sequences: a fresh context numbers RDDs and
         # shuffles from zero, keeping same-seed runs byte-identical even
@@ -290,6 +295,7 @@ class DecaContext:
     def _unpersist(self, rdd: RDD) -> None:
         for executor in self.executors:
             executor.cache.remove_rdd(rdd.rdd_id)
+        self.backend.unpersist_rdd(rdd.rdd_id)
 
     def _note_spill(self, nbytes: int) -> None:
         self._spilled_shuffle_bytes += nbytes
@@ -342,6 +348,12 @@ class DecaContext:
             run.full_gc_count += stats.full_count
             run.swapped_cache_bytes += executor.cache.swapped_bytes_total
         run.spilled_shuffle_bytes = self._spilled_shuffle_bytes
+        # Teardown: the mp backend unlinks every shared segment it still
+        # owns (the CI leak guard checks /dev/shm is clean afterwards).
+        # The stats snapshot is taken after teardown so ``segments_live``
+        # reports what the run actually leaked — zero, or a bug.
+        self.backend.shutdown()
+        run.backend = dict(self.backend.stats.to_dict())
         for rdd in self._rdds.values():
             if rdd.is_cached:
                 nbytes = self.cached_bytes_of(rdd)

@@ -156,6 +156,9 @@ class RunMetrics:
     cached_bytes: dict[str, int] = field(default_factory=dict)
     swapped_cache_bytes: int = 0
     spilled_shuffle_bytes: int = 0
+    # Execution-backend traffic accounting (repro.exec.BackendStats):
+    # pickled vs shared-memory bytes crossing process boundaries.
+    backend: dict[str, "int | str"] = field(default_factory=dict)
 
     @property
     def gc_pause_ms(self) -> float:

@@ -215,11 +215,15 @@ class DAGScheduler:
                                      f"shuffle-map:{stage.rdd.name}")
         stage_start = self._sync_clocks()
         ctx.shuffle_store.set_map_parts(dep.shuffle_id, stage.num_tasks)
-        body = self._map_task_body(stage, ctx.shuffle_store)
-        for split in range(stage.num_tasks):
-            self._run_task_attempts(stage, split, body, stage_metrics,
-                                    job_metrics)
-        self._maybe_speculate(stage, stage_metrics, job_metrics)
+        if not ctx.backend.run_map_stage(self, stage, stage_metrics,
+                                         job_metrics, stage_start):
+            # The sim path: the sequential simulated attempt loop
+            # (speculation included) runs exactly as it always has.
+            body = self._map_task_body(stage, ctx.shuffle_store)
+            for split in range(stage.num_tasks):
+                self._run_task_attempts(stage, split, body, stage_metrics,
+                                        job_metrics)
+            self._maybe_speculate(stage, stage_metrics, job_metrics)
         stage_metrics.wall_ms = self._sync_clocks() - stage_start
         self._emit_stage_span(stage_metrics, stage_start)
         job_metrics.stages.append(stage_metrics)
@@ -231,14 +235,20 @@ class DAGScheduler:
                                      f"result:{stage.rdd.name}")
         stage_start = self._sync_clocks()
 
-        def body(task: TaskContext, split: int) -> Any:
-            return func(stage.rdd.iterator(split, task))
+        backend_results = self.ctx.backend.run_result_stage(
+            self, stage, func, stage_metrics, job_metrics, stage_start)
+        if backend_results is not None:
+            results = backend_results
+        else:
+            def body(task: TaskContext, split: int) -> Any:
+                return func(stage.rdd.iterator(split, task))
 
-        results: list[Any] = []
-        for split in range(stage.num_tasks):
-            results.append(self._run_task_attempts(
-                stage, split, body, stage_metrics, job_metrics))
-        self._maybe_speculate(stage, stage_metrics, job_metrics, body=body)
+            results = []
+            for split in range(stage.num_tasks):
+                results.append(self._run_task_attempts(
+                    stage, split, body, stage_metrics, job_metrics))
+            self._maybe_speculate(stage, stage_metrics, job_metrics,
+                                  body=body)
         stage_metrics.wall_ms = self._sync_clocks() - stage_start
         self._emit_stage_span(stage_metrics, stage_start)
         job_metrics.stages.append(stage_metrics)

@@ -66,9 +66,16 @@ SPARK_SHUFFLE_PLAN = ShufflePlan()
 
 @dataclass
 class MapOutputBlock:
-    """One (map partition, reduce partition) shuffle block."""
+    """One (map partition, reduce partition) shuffle block.
 
-    records: list
+    Under the sim backend ``records`` holds the block's record objects.
+    Under the mp backend a decomposed block lives in a shared-memory
+    segment instead: ``records`` is ``None`` and ``shm_ref`` (plus the
+    schema/decode/tag needed to read it) points at the packed pages —
+    reducers attach the segment and decode in place.
+    """
+
+    records: list | None
     nbytes: int
     objects: int
     executor_id: int
@@ -77,6 +84,28 @@ class MapOutputBlock:
     # the sorted spill files with the final output (Appendix C: Deca
     # merges through a single-page buffer; Spark re-reads the runs).
     merge_penalty_bytes: int = 0
+    # Shared-segment form (mp backend): see repro.exec.shm.
+    shm_ref: object | None = None
+    shm_schema: object | None = None
+    shm_decode: object | None = None
+    shm_tag: int | None = None
+
+    def resolve_records(self) -> list:
+        """The block's records, materializing from shared pages if needed.
+
+        Driver-side readers (a sim-path reduce over blocks an mp stage
+        produced) call this instead of touching ``records`` directly.
+        """
+        if self.records is None and self.shm_ref is not None:
+            from ..exec.shm import read_segment_records
+            pairs = read_segment_records(
+                self.shm_ref, self.shm_schema, self.shm_decode)
+            if self.shm_tag is None:
+                self.records = list(pairs)
+            else:
+                self.records = [(key, (self.shm_tag, value))
+                                for key, value in pairs]
+        return self.records if self.records is not None else []
 
 
 class ShuffleBlockStore:
@@ -538,8 +567,10 @@ def _fetch_blocks(executor, store: ShuffleBlockStore, shuffle_id: int,
         remote = block.executor_id != executor.executor_id
         if remote:
             executor.charge_network(block.nbytes)
+        records = (block.records if block.records is not None
+                   else block.resolve_records())
         if block.decomposed:
-            executor.serializer.deca_read(len(block.records), block.nbytes)
+            executor.serializer.deca_read(len(records), block.nbytes)
         else:
             executor.serializer.kryo_deserialize(block.objects,
                                                  block.nbytes)
@@ -554,4 +585,4 @@ def _fetch_blocks(executor, store: ShuffleBlockStore, shuffle_id: int,
             map_part=map_part, reduce_part=reduce_part,
             nbytes=block.nbytes, remote=remote,
             merge_penalty_bytes=block.merge_penalty_bytes)
-        yield from block.records
+        yield from records
