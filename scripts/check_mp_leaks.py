@@ -11,7 +11,12 @@ anything behind that a correct segment lifecycle would have cleaned up:
 * worker processes — mp workers are forked children of the test
   process and share its command line, so any surviving ``pytest`` /
   ``repro.bench`` process after those steps finished is a stray worker
-  (a hang the per-test timeout should have reaped).
+  (a hang the per-test timeout should have reaped);
+* cold-tier files — the mmap cold tier names its backing files
+  ``repro-tier-<pid>-...`` (repro.memory.tier.TIER_FILE_PREFIX) in the
+  temp directory and unlinks them on close/finalize, so a tier file
+  whose embedded pid is no longer alive is an orphan the
+  ``weakref.finalize`` hook failed to reap.
 
 Exit status 0 = clean, 1 = leaks found (details on stdout).
 """
@@ -19,11 +24,14 @@ Exit status 0 = clean, 1 = leaks found (details on stdout).
 from __future__ import annotations
 
 import os
+import re
 import subprocess
 import sys
+import tempfile
 
 SHM_DIR = "/dev/shm"
 SEGMENT_PREFIX = "repro-mp"
+TIER_PATTERN = re.compile(r"^repro-tier-(\d+)-")
 
 #: Command lines mp workers inherit from the processes that fork them.
 WORKER_PATTERNS = ("python -m pytest", "-m repro.bench")
@@ -56,9 +64,37 @@ def stray_processes() -> list[str]:
     return strays
 
 
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def orphaned_tier_files() -> list[str]:
+    """Cold-tier mmap files whose creating process is dead."""
+    tmpdir = tempfile.gettempdir()
+    orphans: list[str] = []
+    try:
+        entries = os.listdir(tmpdir)
+    except OSError:
+        return []
+    for entry in sorted(entries):
+        match = TIER_PATTERN.match(entry)
+        if match is None:
+            continue
+        if not _pid_alive(int(match.group(1))):
+            orphans.append(os.path.join(tmpdir, entry))
+    return orphans
+
+
 def main() -> int:
     segments = leaked_segments()
     strays = stray_processes()
+    tier_files = orphaned_tier_files()
     if segments:
         print(f"LEAK: {len(segments)} shared-memory segment(s) "
               f"still linked under {SHM_DIR}:")
@@ -68,9 +104,14 @@ def main() -> int:
         print(f"LEAK: {len(strays)} stray worker process(es):")
         for line in strays:
             print(f"  {line}")
-    if segments or strays:
+    if tier_files:
+        print(f"LEAK: {len(tier_files)} orphaned cold-tier file(s):")
+        for path in tier_files:
+            print(f"  {path}")
+    if segments or strays or tier_files:
         return 1
-    print("clean: no leaked segments, no stray workers")
+    print("clean: no leaked segments, no stray workers, "
+          "no orphaned tier files")
     return 0
 
 

@@ -27,6 +27,7 @@ from ..config import ExecutionMode
 from ..errors import StageAbortError
 from ..obs import chrome_trace, utilization_summary
 from .harness import (
+    COLD_TIERS,
     GRAPH_SCALES,
     LR_SIZES,
     MEMORY_WORKLOADS,
@@ -37,6 +38,7 @@ from .harness import (
     run_kmeans_point,
     run_lr_point,
     run_memory_point,
+    run_tier_point,
     run_trace_point,
     run_wc_point,
 )
@@ -145,6 +147,29 @@ def main(argv: list[str] | None = None) -> int:
     mem.add_argument("--json", metavar="NAME",
                      help="also write benchmarks/results/<NAME>.json")
 
+    tier = sub.add_parser(
+        "tier",
+        help="heap vs mmap cold-tier ablation "
+             "(swap traffic by tier, docs/memory_model.md)")
+    tier.add_argument("--label", default="200GB",
+                      choices=sorted(LR_SIZES),
+                      help="LR occupancy point (default: the swapping "
+                           "regime)")
+    tier.add_argument("--tiers", nargs="*", metavar="T",
+                      default=list(COLD_TIERS), choices=list(COLD_TIERS),
+                      help="cold tiers to compare (default: both)")
+    tier.add_argument("--mode", default="deca",
+                      choices=[m.value for m in ExecutionMode],
+                      help="execution mode (default: deca — the raw "
+                           "byte-move path)")
+    tier.add_argument("--json", metavar="NAME",
+                      help="also write benchmarks/results/<NAME>.json")
+    tier.add_argument("--check", action="store_true",
+                      help="exit 1 unless all tiers produced identical "
+                           "results and (in deca mode) mmap charged "
+                           "zero swap-copy bytes where heap charged "
+                           "some")
+
     be = sub.add_parser(
         "backend",
         help="sim vs mp execution-backend ablation "
@@ -193,6 +218,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_trace(args)
     if args.app == "memory":
         return _run_memory(args)
+    if args.app == "tier":
+        return _run_tier(args)
     if args.app == "backend":
         return _run_backend(args)
     modes = _modes(args.modes)
@@ -326,6 +353,84 @@ def _run_memory(args) -> int:
         path = write_json_result(args.json, rows_as_json(rows))
         print(f"wrote {path}")
     return 0
+
+
+def _run_tier(args) -> int:
+    """The ``tier`` subcommand: the heap-vs-mmap cold-tier ablation.
+
+    Runs the same LR occupancy point once per cold tier and reports
+    where the swap traffic went: the heap tier round-trips Deca page
+    bytes through accounted heap copies (``swap_copy_bytes``), the
+    mmap tier moves them into file-backed extents
+    (``tier_bytes_moved``) with zero heap copies.  Results must be
+    byte-identical — the tier only changes where cold bytes live.
+    """
+    mode = {m.value: m for m in ExecutionMode}[args.mode]
+    cells: list[dict] = []
+    for tier in args.tiers:
+        row = run_tier_point(tier, args.label, mode)
+        summary = row.extra["tier"]
+        cells.append({
+            "cold_tier": tier, "label": args.label, "mode": mode.value,
+            "exec_s": round(row.exec_s, 4),
+            "gc_s": round(row.gc_s, 4),
+            "digest": row.extra["digest"],
+            "swapouts": summary["events"].get("cache:swap-out", 0),
+            "swapped_bytes": summary["swapped_bytes"],
+            "swap_copy_bytes": summary["swap_copy_bytes"],
+            "tier_bytes_moved": summary["tier_bytes_moved"],
+            "tier_stats": summary["tier"],
+        })
+
+    header = (f"{'tier':<6} {'exec(s)':>8} {'swapouts':>9} "
+              f"{'swapped':>10} {'heap-copies':>12} "
+              f"{'tier-moved':>11}  digest")
+    print(f"repro.bench tier · LR {args.label} · mode={mode.value}")
+    print(header)
+    print("-" * len(header))
+    for cell in cells:
+        print(f"{cell['cold_tier']:<6} {cell['exec_s']:>8.3f} "
+              f"{cell['swapouts']:>9} {cell['swapped_bytes']:>10} "
+              f"{cell['swap_copy_bytes']:>12} "
+              f"{cell['tier_bytes_moved']:>11}  {cell['digest']}")
+
+    status = 0
+    digests = {cell["cold_tier"]: cell["digest"] for cell in cells}
+    if len(set(digests.values())) > 1:
+        print(f"MISMATCH: results differ across tiers: {digests}",
+              file=sys.stderr)
+        status = 1
+    elif len(digests) > 1:
+        print(f"equivalence: results identical across {sorted(digests)}")
+    if args.check and mode is ExecutionMode.DECA:
+        by_tier = {cell["cold_tier"]: cell for cell in cells}
+        heap_cell = by_tier.get("heap")
+        mmap_cell = by_tier.get("mmap")
+        if heap_cell is not None and heap_cell["swap_copy_bytes"] <= 0:
+            print("tier check: heap tier charged no swap copies "
+                  "(the point never swapped — raise the label)",
+                  file=sys.stderr)
+            status = 1
+        if mmap_cell is not None:
+            if mmap_cell["swap_copy_bytes"] != 0:
+                print(f"tier check: mmap tier charged "
+                      f"{mmap_cell['swap_copy_bytes']} heap-copy bytes "
+                      f"on the Deca path (must be zero)", file=sys.stderr)
+                status = 1
+            if mmap_cell["tier_bytes_moved"] <= 0:
+                print("tier check: mmap tier moved no bytes",
+                      file=sys.stderr)
+                status = 1
+
+    if args.json:
+        path = write_json_result(args.json, {
+            "label": args.label,
+            "mode": mode.value,
+            "cells": cells,
+            "equivalent": len(set(digests.values())) <= 1,
+        })
+        print(f"wrote {path}")
+    return status if args.check else 0
 
 
 def _run_backend(args) -> int:

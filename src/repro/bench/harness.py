@@ -18,6 +18,8 @@ the tables/figures report.
 
 from __future__ import annotations
 
+import hashlib
+
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -401,6 +403,81 @@ def run_memory_ablation(mode: ExecutionMode = ExecutionMode.SPARK,
             for memory_mode in ("static", "unified")
         }
     return grid
+
+
+# ---------------------------------------------------------------------------
+# Cold-tier ablation points (heap vs mmap, docs/memory_model.md)
+# ---------------------------------------------------------------------------
+
+COLD_TIERS: tuple[str, ...] = ("heap", "mmap")
+
+
+def result_digest(result: Any) -> str:
+    """Stable digest of a job result (tier modes must agree on it)."""
+    return hashlib.sha256(repr(result).encode()).hexdigest()[:16]
+
+
+def tier_summary(run: AppRun) -> dict[str, Any]:
+    """Deterministic summary of one run's swap traffic by cold tier.
+
+    Counts the swap and ``tier:*`` events, the serializer's swap-copy
+    byte counter (the Deca-path heap-copy cost the mmap tier removes)
+    and the summed :class:`~repro.memory.tier.TierStats` — integers and
+    fixed-precision sums only, no file paths, so two seeded runs
+    byte-compare equal.
+    """
+    events: dict[str, int] = {}
+    swapped_bytes = 0
+    tier_moved = 0
+    for event in run.ctx.tracer.events:
+        if event.category in ("tier", "io.tier") \
+                or event.name.startswith("cache:swap"):
+            events[event.name] = events.get(event.name, 0) + 1
+        if event.name == "cache:swap-out":
+            swapped_bytes += int(event.args.get("released_bytes", 0))
+            tier_moved += int(event.args.get("tier_bytes", 0))
+    swap_copy = sum(e.serializer.swap_copy_bytes_total
+                    for e in run.ctx.executors)
+    return {
+        "cold_tier": run.ctx.config.cold_tier,
+        "events": dict(sorted(events.items())),
+        "swapped_bytes": swapped_bytes,
+        "tier_bytes_moved": tier_moved,
+        "swap_copy_bytes": swap_copy,
+        "tier": dict(sorted(run.metrics.tier.items())),
+    }
+
+
+def run_tier_point(cold_tier: str, label: str = "200GB",
+                   mode: ExecutionMode = ExecutionMode.DECA,
+                   **config_overrides: Any) -> FigureRow:
+    """One cold-tier ablation point: LR in the swapping regime.
+
+    The default "200GB" point runs the object cache at ~2.3x the old
+    generation, so cached page groups are evicted and promoted all run
+    long — exactly the traffic the tier moves.  Results must be
+    byte-identical across tiers (only where the cold bytes live and
+    what the moves cost may differ).
+    """
+    if cold_tier not in COLD_TIERS:
+        raise ValueError(f"unknown cold tier {cold_tier!r}; "
+                         f"choose from {COLD_TIERS}")
+    overrides = dict(config_overrides)
+    overrides["cold_tier"] = cold_tier
+    row = run_lr_point(label, mode, **overrides)
+    run: AppRun = row.extra["run"]
+    row.extra["cold_tier"] = cold_tier
+    row.extra["tier"] = tier_summary(run)
+    row.extra["digest"] = result_digest(run.result)
+    return row
+
+
+def run_tier_ablation(label: str = "200GB",
+                      mode: ExecutionMode = ExecutionMode.DECA,
+                      **config_overrides: Any) -> dict[str, FigureRow]:
+    """Both cold tiers on the same point (the heap-vs-mmap ablation)."""
+    return {tier: run_tier_point(tier, label, mode, **config_overrides)
+            for tier in COLD_TIERS}
 
 
 # ---------------------------------------------------------------------------

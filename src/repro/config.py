@@ -118,6 +118,10 @@ class IoCosts:
     disk_seek_ms: float = 8.0
     network_per_byte_ms: float = 8.5e-6      # ~120 MB/s effective
     network_rtt_ms: float = 0.5
+    # The mmap cold tier (cold_tier="mmap") moves bytes at memory-bus
+    # rather than disk bandwidth, and extents need no seek.
+    tier_write_per_byte_ms: float = 4.0e-7   # ~2.5 GB/s
+    tier_read_per_byte_ms: float = 2.5e-7    # ~4 GB/s
 
 
 @dataclass(frozen=True)
@@ -247,6 +251,16 @@ def _default_mp_workers() -> int:
     return int(os.environ.get("REPRO_MP_WORKERS", "0"))
 
 
+def _default_cold_tier() -> str:
+    """Cold-tier selection, overridable per-process via the environment.
+
+    ``REPRO_COLD_TIER=mmap`` flips every context constructed with the
+    default config onto the mmap page-store tier — how the CI cold-tier
+    leg runs the whole test suite against it without editing any test.
+    """
+    return os.environ.get("REPRO_COLD_TIER", "heap")
+
+
 @dataclass(frozen=True)
 class DecaConfig:
     """Top-level configuration of a simulated Deca/Spark deployment."""
@@ -294,6 +308,15 @@ class DecaConfig:
     # Fraction of the arena that storage never gets evicted below when
     # execution borrows (``spark.memory.storageFraction``).
     storage_region_fraction: float = 0.5
+
+    # --- cold tier (docs/memory_model.md) ---------------------------------
+    # Where swapped-out cache blocks and spilled shuffle buffers go:
+    # ``"heap"`` parks serialized/copied payloads on the Python heap and
+    # charges simulated-disk costs (the seed behaviour, byte-identical);
+    # ``"mmap"`` moves raw page bytes into a file-backed mmap extent
+    # store (repro.memory.tier) with zero-copy promotion — no ``bytes``
+    # copies and no serializer charge on the Deca path.
+    cold_tier: str = field(default_factory=_default_cold_tier)
 
     # --- Deca page geometry (§4.3.1) --------------------------------------
     page_bytes: int = 1 * MB
@@ -356,6 +379,9 @@ class DecaConfig:
             raise ConfigError(
                 "storage_fraction + shuffle_fraction cannot exceed 1.0"
             )
+        if self.cold_tier not in ("heap", "mmap"):
+            raise ConfigError(
+                f"cold_tier must be 'heap' or 'mmap': {self.cold_tier!r}")
         if self.memory_mode not in ("static", "unified"):
             raise ConfigError(
                 f"memory_mode must be 'static' or 'unified': "

@@ -95,6 +95,13 @@ class ExecutionBackend:
     def unpersist_rdd(self, rdd_id: int) -> None:
         """An RDD was unpersisted: drop backend-held cache blocks."""
 
+    def demote_block(self, key: tuple[int, int]) -> None:
+        """A cached block went cold (swapped to the cold tier).
+
+        Workers must stop resolving it from hot backend storage (shared
+        memory) and fall back to recomputing from lineage.
+        """
+
     def shutdown(self) -> None:
         """Release every backend resource (context teardown)."""
 

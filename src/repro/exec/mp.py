@@ -86,8 +86,15 @@ class CacheEntry:
     records: list | None = None
     schema: Any = None
     decode: Callable[[Any], Any] | None = None
+    # Set when the driver's cache swapped the block to the cold tier:
+    # workers must recompute instead of resolving the (stale-hot) copy.
+    cold: bool = False
 
     def read(self) -> Iterator[Any]:
+        if self.cold:
+            raise RuntimeError(
+                "cold cache block read as hot — workers must recompute "
+                "demoted blocks from lineage")
         if self.kind == "records":
             assert self.records is not None
             yield from self.records
@@ -254,12 +261,23 @@ class MpBackend(ExecutionBackend):
         ctx = self.ctx
         for cb in out.cache_blocks:
             key = (cb.rdd_id, cb.split)
-            if key in self.cache_blocks:
-                # Already materialized by an earlier task (cannot happen
-                # within a stage; defensive for replays): keep the first.
-                if cb.ref is not None and cb.ref.name is not None:
-                    unlink_segment(cb.ref.name)
-                continue
+            existing = self.cache_blocks.get(key)
+            if existing is not None:
+                if not existing.cold:
+                    # Already materialized by an earlier task (cannot
+                    # happen within a stage; defensive for replays):
+                    # keep the first.
+                    if cb.ref is not None and cb.ref.name is not None:
+                        unlink_segment(cb.ref.name)
+                    continue
+                # A demoted block was recomputed: the fresh bytes
+                # replace the cold entry and its stale segment.
+                if existing.ref is not None \
+                        and existing.ref.name is not None:
+                    self.registry.release(existing.ref.name)
+                    segs = self._cache_segments.get(cb.rdd_id)
+                    if segs is not None and existing.ref.name in segs:
+                        segs.remove(existing.ref.name)
             self.cache_blocks[key] = self._cache_entry(cb, out.executor_id)
 
     def _cache_entry(self, cb: CacheBlockOut, executor_id: int
@@ -284,6 +302,17 @@ class MpBackend(ExecutionBackend):
                               schema=schema, decode=decode)
         return CacheEntry(kind="records", count=cb.count,
                           records=pickle.loads(cb.blob))
+
+    def demote_block(self, key: tuple[int, int]) -> None:
+        """Mark a block cold: forked workers recompute it from lineage
+        instead of resolving the shared-memory copy (the driver's cache
+        moved the authoritative bytes into the mmap tier)."""
+        entry = self.cache_blocks.get(key)
+        if entry is None or entry.cold:
+            return
+        entry.cold = True
+        self.stats.extra["blocks_demoted"] = \
+            self.stats.extra.get("blocks_demoted", 0) + 1
 
     def unpersist_rdd(self, rdd_id: int) -> None:
         for key in [k for k in self.cache_blocks if k[0] == rdd_id]:

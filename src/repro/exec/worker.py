@@ -48,6 +48,17 @@ if TYPE_CHECKING:
 CRASH_EXIT_CODE = 17
 
 
+def _resolvable(entry: Any) -> bool:
+    """Whether a backend cache entry may serve reads.
+
+    Cold entries (the driver's cache demoted the block into the mmap
+    tier) must not be resolved as shared memory — the worker recomputes
+    the partition from lineage instead, like a real executor whose
+    BlockManager dropped the block.
+    """
+    return entry is not None and not getattr(entry, "cold", False)
+
+
 # -- messages shipped back to the driver -------------------------------------
 
 @dataclass
@@ -322,7 +333,7 @@ class _WorkerRuntime:
             yield from local
             return
         entry = self.state.cache_blocks.get(key)
-        if entry is not None:
+        if _resolvable(entry):
             records = list(entry.read())
             self.local_cache[key] = records
             yield from records

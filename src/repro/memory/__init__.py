@@ -15,7 +15,10 @@ no per-record Python objects survive.
   registry, LRU bookkeeping and eviction under heap pressure;
 * :mod:`repro.memory.unified` — the unified executor memory arena
   (SPARK-10000): one accounting plane for cache, shuffle and Deca pages,
-  with execution/storage borrowing and cooperative spilling.
+  with execution/storage borrowing and cooperative spilling;
+* :mod:`repro.memory.tier` — the mmap-backed cold tier: swapped page
+  groups move as raw bytes into file-backed extents and promote back as
+  zero-copy views (``DecaConfig.cold_tier="mmap"``).
 """
 
 from .layout import (
@@ -29,6 +32,7 @@ from .layout import (
 from .sudt import SudtClass, synthesize_sudt
 from .page import Page, PageGroup, PageInfo, PagePointer
 from .manager import DecaMemoryManager
+from .tier import PageStoreTier, TierExtent, TierStats
 from .unified import (
     MemoryConsumer,
     StaticMemoryArena,
@@ -50,6 +54,9 @@ __all__ = [
     "PageInfo",
     "PagePointer",
     "DecaMemoryManager",
+    "PageStoreTier",
+    "TierExtent",
+    "TierStats",
     "MemoryConsumer",
     "StaticMemoryArena",
     "UnifiedMemoryManager",

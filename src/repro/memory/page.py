@@ -205,6 +205,49 @@ class PageGroup:
             self.on_resize(self, array_bytes(1, nbytes))
         return page
 
+    def adopt_page(self, buffer: bytearray | memoryview,
+                   used: int | None = None) -> Page:
+        """Mount an externally owned *buffer* as one fully-written page.
+
+        The zero-copy promotion path of the mmap cold tier
+        (:mod:`repro.memory.tier`): the page aliases the tier extent the
+        way shared-memory pages alias their segment, so swapping a group
+        back in moves no bytes.  The page is charged to the heap exactly
+        like an allocated one — residency accounting is identical across
+        tiers, only the data plane differs.
+        """
+        self._check_alive()
+        page = Page(len(self.pages), len(buffer), buffer=buffer)
+        page.used = len(buffer) if used is None else used
+        if self.heap is not None and self._alloc_group is not None:
+            self.heap.allocate(self._alloc_group, 1,
+                               array_bytes(1, page.capacity))
+        self.pages.append(page)
+        if self.on_resize is not None:
+            self.on_resize(self, array_bytes(1, page.capacity))
+        return page
+
+    def drain(self) -> Iterator[bytes]:
+        """Yield each page's used bytes as one copy, releasing the source
+        page's heap charge as soon as the caller has consumed it.
+
+        The heap-tier swap-out path: copying every page *before*
+        reclaiming the group doubles the block's peak footprint, so the
+        drain interleaves copy and release — at most one page is
+        double-buffered at a time.  The group is reclaimed when the
+        iterator is exhausted.  (``on_resize`` is deliberately not
+        fired per page: the swap-out discards the group's arena entry
+        wholesale right after.)
+        """
+        self._check_alive()
+        for page in list(self.pages):
+            yield bytes(memoryview(page.data)[:page.used])
+            # The caller holds (and has accounted) the copy; the source
+            # page's heap charge can go.
+            if self._alloc_group is not None and not self._alloc_group.freed:
+                self._alloc_group.shrink(array_bytes(1, page.capacity))
+        self.reclaim()
+
     def trim(self) -> int:
         """Shrink the last page's byte array to its used size.
 

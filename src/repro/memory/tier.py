@@ -1,0 +1,337 @@
+"""File-backed mmap cold tier for swapped page groups (ROADMAP item 4).
+
+Deca pages hold raw wire-format bytes, so swapping a page group out does
+not need a serialize/deserialize round trip — the TeraHeap observation
+(*Garbage Collection or Serialization? Between a Rock and a Hard Place!*,
+PAPERS.md) is that paying one anyway means paying twice: once in GC
+pressure from the transient heap copies, once in serde time.  The
+:class:`PageStoreTier` is the second tier that makes the swap a plain
+byte move:
+
+* one **extent** per page group, carved from a file-backed ``mmap``
+  region with a first-fit free list (freed extents coalesce with their
+  neighbours and are reused);
+* **swap-out** writes each page's used bytes buffer-to-buffer into the
+  extent — no intermediate Python ``bytes`` objects;
+* **swap-in** hands back writable ``memoryview`` slices of the mapping,
+  which :meth:`repro.memory.page.PageGroup.adopt_page` mounts as pages
+  readable through the existing SUDT/schema accessors — zero copies in
+  the promotion direction.
+
+The tier grows by remapping (never ``mmap.resize``, which refuses while
+promoted views are exported); shared mappings of one file are coherent,
+so views handed out from an older, shorter mapping stay valid after a
+grow.  A leftover tier file from a killed run is truncated on startup
+(its extent directory died with the process, so the bytes are garbage),
+and the file is unlinked when the creating process drops the tier — a
+forked worker inheriting the object must never unlink the driver's file,
+hence the creator-pid guard.
+"""
+
+from __future__ import annotations
+
+import itertools
+import mmap
+import os
+import tempfile
+import weakref
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import PageError
+
+#: Tier files are named ``repro-tier-<pid>-<seq>[-<tag>].bin`` in the
+#: temp dir; scripts/check_mp_leaks.py flags files whose pid is dead.
+TIER_FILE_PREFIX = "repro-tier"
+
+#: Extents are reserved on this granularity so frees coalesce cleanly.
+_GRANULE = 4096
+
+#: First file growth; subsequent grows double, bounding remap count.
+_MIN_FILE_BYTES = 1 << 20
+
+_file_seq = itertools.count()
+
+
+def default_tier_path(tag: str = "") -> str:
+    """A fresh per-process tier file path under the temp dir."""
+    suffix = f"-{tag}" if tag else ""
+    name = f"{TIER_FILE_PREFIX}-{os.getpid()}-{next(_file_seq)}{suffix}.bin"
+    return os.path.join(tempfile.gettempdir(), name)
+
+
+def _dispose(fd: int, path: str, creator_pid: int) -> None:
+    """Finalizer: close the fd and (creator only) unlink the file."""
+    try:
+        os.close(fd)
+    except OSError:
+        pass
+    if os.getpid() == creator_pid:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+@dataclass(frozen=True)
+class TierExtent:
+    """One page group's reservation in the tier file."""
+
+    offset: int             # file offset of the reservation
+    length: int             # granule-aligned reserved bytes
+    chunks: tuple[int, ...]  # per-page byte lengths (sum <= length)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self.chunks)
+
+
+@dataclass
+class TierStats:
+    """Lifetime counters of one tier (integer-only, determinism-safe)."""
+
+    swap_out_count: int = 0
+    swap_in_count: int = 0
+    drop_count: int = 0
+    bytes_moved_out: int = 0   # bytes physically written into extents
+    bytes_moved_in: int = 0    # bytes promoted back as zero-copy views
+    spill_count: int = 0       # shuffle spills routed to the tier
+    spill_bytes: int = 0
+    extents_live: int = 0
+    extent_bytes_live: int = 0  # reserved (granule-aligned) live bytes
+    file_bytes: int = 0
+    truncated_bytes: int = 0   # leftover bytes reclaimed on startup
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "swap_out_count": self.swap_out_count,
+            "swap_in_count": self.swap_in_count,
+            "drop_count": self.drop_count,
+            "bytes_moved_out": self.bytes_moved_out,
+            "bytes_moved_in": self.bytes_moved_in,
+            "spill_count": self.spill_count,
+            "spill_bytes": self.spill_bytes,
+            "extents_live": self.extents_live,
+            "extent_bytes_live": self.extent_bytes_live,
+            "file_bytes": self.file_bytes,
+            "truncated_bytes": self.truncated_bytes,
+        }
+
+
+class PageStoreTier:
+    """A mmap extent store holding cold page groups as raw bytes.
+
+    ``tracer``/``clock``/``pid`` mirror the executor's trace wiring;
+    every operation lands on the run's trace bus as a ``tier:*`` instant
+    event (see docs/memory_model.md).
+    """
+
+    def __init__(self, path: str | None = None, *, tracer=None,
+                 clock=None, pid: int = 0, tag: str = "") -> None:
+        self.path = path if path is not None else default_tier_path(tag)
+        self.tracer = tracer
+        self.clock = clock
+        self.pid = pid
+        self._creator_pid = os.getpid()
+        self._closed = False
+        try:
+            leftover = os.path.getsize(self.path)
+        except OSError:
+            leftover = 0
+        self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o600)
+        if leftover:
+            # Crash safety: the extent directory of whatever run wrote
+            # these bytes died with its process, so the content is
+            # unrecoverable garbage — reclaim it before mapping.
+            os.ftruncate(self._fd, 0)
+        self._size = 0
+        self._mm: mmap.mmap | None = None
+        # Mappings outgrown by a remap but still referenced by exported
+        # promotion views; they die when the last view does.
+        self._retired: list[mmap.mmap] = []
+        # Sorted, coalesced [offset, length] holes covering every byte
+        # of the file that no live extent reserves.
+        self._free: list[list[int]] = []
+        self._extents: dict[str, TierExtent] = {}
+        self.stats = TierStats()
+        if leftover:
+            self.stats.truncated_bytes = leftover
+            self._emit("tier:truncate", reclaimed_bytes=leftover)
+        self._finalizer = weakref.finalize(
+            self, _dispose, self._fd, self.path, self._creator_pid)
+
+    # -- bookkeeping -----------------------------------------------------------
+    @property
+    def file_bytes(self) -> int:
+        return self._size
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(length for _, length in self._free)
+
+    @property
+    def live_bytes(self) -> int:
+        """Reserved bytes of live extents (granule-aligned)."""
+        return sum(extent.length for extent in self._extents.values())
+
+    def has(self, name: str) -> bool:
+        return name in self._extents
+
+    def extent_of(self, name: str) -> TierExtent:
+        try:
+            return self._extents[name]
+        except KeyError:
+            raise PageError(f"no tier extent {name!r}") from None
+
+    def _emit(self, event: str, **args) -> None:
+        if self.tracer is None:
+            return
+        ts = self.clock.now_ms if self.clock is not None else 0.0
+        self.tracer.instant(event, "tier", ts_ms=ts, pid=self.pid, **args)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise PageError(f"tier {self.path!r} is closed")
+
+    # -- extent allocation -----------------------------------------------------
+    def _allocate(self, nbytes: int) -> tuple[int, int]:
+        """Reserve a granule-aligned hole >= *nbytes*; returns
+        ``(offset, length)``."""
+        need = max(_GRANULE,
+                   (nbytes + _GRANULE - 1) // _GRANULE * _GRANULE)
+        for hole in self._free:
+            offset, length = hole
+            if length >= need:
+                if length == need:
+                    self._free.remove(hole)
+                else:
+                    hole[0] = offset + need
+                    hole[1] = length - need
+                return offset, need
+        self._grow(need)
+        return self._allocate(nbytes)
+
+    def _grow(self, need: int) -> None:
+        new_size = max(self._size * 2, self._size + need, _MIN_FILE_BYTES)
+        os.ftruncate(self._fd, new_size)
+        old = self._mm
+        self._mm = mmap.mmap(self._fd, new_size)
+        if old is not None:
+            try:
+                old.close()
+            except BufferError:
+                # Promoted views still reference the old mapping; it is
+                # released when the last of them is dropped.
+                self._retired.append(old)
+        self._release(self._size, new_size - self._size)
+        self._size = new_size
+        self.stats.file_bytes = new_size
+
+    def _release(self, offset: int, length: int) -> None:
+        """Return ``[offset, length]`` to the free list, coalescing."""
+        if length <= 0:
+            return
+        self._free.append([offset, length])
+        self._free.sort()
+        merged: list[list[int]] = []
+        for hole in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == hole[0]:
+                merged[-1][1] += hole[1]
+            else:
+                merged.append(hole)
+        self._free = merged
+
+    # -- the swap data plane ---------------------------------------------------
+    def swap_out(self, name: str, chunks: Iterable[memoryview | bytes
+                                                  | bytearray]) -> int:
+        """Move *chunks* (one per page) into a fresh extent *name*.
+
+        The write is buffer-to-buffer into the mapping — no intermediate
+        Python-heap ``bytes`` copies.  Returns the bytes moved.
+        """
+        self._check_open()
+        if name in self._extents:
+            raise PageError(f"tier extent {name!r} already exists")
+        chunks = list(chunks)
+        sizes = tuple(len(chunk) for chunk in chunks)
+        total = sum(sizes)
+        offset, length = self._allocate(total)
+        mm = self._mm
+        assert mm is not None
+        pos = offset
+        for chunk in chunks:
+            n = len(chunk)
+            mm[pos:pos + n] = chunk
+            pos += n
+        self._extents[name] = TierExtent(offset, length, sizes)
+        self.stats.swap_out_count += 1
+        self.stats.bytes_moved_out += total
+        self.stats.extents_live = len(self._extents)
+        self.stats.extent_bytes_live = self.live_bytes
+        self._emit("tier:swap-out", extent=name, nbytes=total,
+                   extent_offset=offset, extents_live=len(self._extents),
+                   file_bytes=self._size)
+        return total
+
+    def views(self, name: str) -> list[memoryview]:
+        """Writable zero-copy views over extent *name*, one per page."""
+        self._check_open()
+        extent = self.extent_of(name)
+        mm = self._mm
+        assert mm is not None
+        base = memoryview(mm)
+        out: list[memoryview] = []
+        pos = extent.offset
+        for n in extent.chunks:
+            out.append(base[pos:pos + n])
+            pos += n
+        return out
+
+    def swap_in(self, name: str) -> list[memoryview]:
+        """Promote extent *name*: zero-copy views the caller mounts as
+        pages.  The extent stays reserved — a later swap-out of the same
+        group moves no bytes, and :meth:`drop` releases it."""
+        views = self.views(name)
+        used = self.extent_of(name).used_bytes
+        self.stats.swap_in_count += 1
+        self.stats.bytes_moved_in += used
+        self._emit("tier:swap-in", extent=name, nbytes=used,
+                   extents_live=len(self._extents))
+        return views
+
+    def drop(self, name: str) -> int:
+        """Release extent *name* (idempotent); returns its used bytes."""
+        extent = self._extents.pop(name, None)
+        if extent is None:
+            return 0
+        self._release(extent.offset, extent.length)
+        self.stats.drop_count += 1
+        self.stats.extents_live = len(self._extents)
+        self.stats.extent_bytes_live = self.live_bytes
+        self._emit("tier:drop", extent=name, nbytes=extent.used_bytes,
+                   extents_live=len(self._extents))
+        return extent.used_bytes
+
+    def note_spill(self, nbytes: int) -> None:
+        """Account one shuffle spill routed to the tier (cost-model
+        path: the spilled buffer has no materialized bytes to move)."""
+        self.stats.spill_count += 1
+        self.stats.spill_bytes += nbytes
+        self._emit("tier:spill", nbytes=nbytes)
+
+    def close(self) -> None:
+        """Drop the mapping and (in the creating process) the file."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._mm is not None:
+            try:
+                self._mm.close()
+            except BufferError:
+                pass  # exported views; the mapping dies with them
+            self._mm = None
+        self._finalizer()
+
+    def __repr__(self) -> str:
+        return (f"PageStoreTier({self.path!r}, extents="
+                f"{len(self._extents)}, file={self._size} B)")

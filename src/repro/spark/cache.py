@@ -25,6 +25,7 @@ from typing import Any, Callable, Iterator
 
 from ..errors import CacheError
 from ..jvm.objects import AllocationGroup, Lifetime
+from ..jvm.sizing import array_bytes
 from ..memory.layout import Schema
 from ..memory.page import PageGroup
 from ..memory.unified import UnifiedMemoryManager
@@ -60,6 +61,15 @@ class CachedBlock:
     on_disk: bool = False
     # Payload parked here while the block is swapped out.
     _disk_payload: Any = None
+    # What the last swap-out released; swap-in readmits exactly this so
+    # the two directions stay byte-symmetric.
+    _swap_released_bytes: int = 0
+    # mmap cold tier (``DecaConfig.cold_tier="mmap"``): the extent that
+    # holds the block's bytes, and whether the *resident* payload
+    # currently aliases that extent.  A promoted block keeps its extent,
+    # so re-evicting it moves zero bytes.
+    _tier_key: str | None = None
+    _tier_resident: bool = False
 
 
 class CacheStore:
@@ -87,6 +97,11 @@ class CacheStore:
         # put/swap/drop so the eviction loop stays O(1) per victim instead
         # of recomputing O(blocks) on every iteration.
         self._resident_bytes = 0
+        # Keys whose swap is in flight: swap-out charges its transient
+        # copies to the heap, which can raise pressure re-entrantly —
+        # the victim selection must never pick a block that is already
+        # halfway through its own swap.
+        self._inflight: set[BlockKey] = set()
 
     # -- queries --------------------------------------------------------------
     def contains(self, key: BlockKey) -> bool:
@@ -200,20 +215,48 @@ class CacheStore:
         return any(not b.on_disk for b in self.blocks.values())
 
     def _lru_victim(self) -> BlockKey | None:
+        # In-flight keys are excluded: a block mid-swap still carries a
+        # stale LRU tick and ``on_disk=False``, so a re-entrant
+        # eviction (pressure raised by that very swap, or by the insert
+        # that triggered it in the same tick window) would select it
+        # and double-drain its pages.
         candidates = [(tick, key) for key, tick in self._lru.items()
-                      if key in self.blocks and not self.blocks[key].on_disk]
+                      if key in self.blocks
+                      and not self.blocks[key].on_disk
+                      and key not in self._inflight]
         if not candidates:
             return None
         return min(candidates)[1]
 
     # -- swapping (Appendix C) ----------------------------------------------------
+    def _tier_name(self, block: CachedBlock) -> str:
+        """The block's extent name in the mmap cold tier."""
+        return f"cache:{block.key}"
+
     def swap_out(self, key: BlockKey) -> int:
-        """Write a block to disk and release its heap space."""
+        """Move a block to the cold tier and release its heap space."""
         block = self.blocks[key]
-        if block.on_disk:
+        if block.on_disk or key in self._inflight:
+            # A block halfway through its own swap must not be drained
+            # again by a re-entrant eviction (heap pressure raised by
+            # the swap's transient copies picks victims through the
+            # same LRU).
             return 0
+        self._inflight.add(key)
+        try:
+            return self._swap_out(key, block)
+        finally:
+            self._inflight.discard(key)
+
+    def _swap_out(self, key: BlockKey, block: CachedBlock) -> int:
         executor = self.executor
+        tier = executor.cold_tier
         released = block.memory_bytes
+        # Remember what this eviction released: swap-in readmits exactly
+        # these bytes, whatever the footprint model would have guessed.
+        block._swap_released_bytes = released
+        tier_moved = 0
+        copy_group: AllocationGroup | None = None
         if block.strategy is StorageStrategy.OBJECTS:
             # Spark serializes object blocks before writing them out.
             executor.serializer.kryo_serialize(
@@ -221,21 +264,69 @@ class CacheStore:
             block._disk_payload = block.records
             block.records = None
         elif block.strategy is StorageStrategy.SERIALIZED:
-            # Schema-less blocks keep their record list instead of a
-            # packed blob; park whichever payload exists.
-            block._disk_payload = (block.blob if block.blob is not None
-                                   else block.records)
-            block.blob = None
-            block.records = None
+            if tier is not None and block.blob is not None:
+                # The blob is already wire format: move the bytes into
+                # an extent (none move if a promoted blob still aliases
+                # its extent — the bytes never left the tier).
+                if block._tier_key is None:
+                    block._tier_key = self._tier_name(block)
+                    tier_moved = tier.swap_out(block._tier_key,
+                                               [block.blob])
+                block._tier_resident = False
+                block.blob = None
+            else:
+                # Schema-less blocks keep their record list instead of a
+                # packed blob; park whichever payload exists.
+                block._disk_payload = (block.blob if block.blob is not None
+                                       else block.records)
+                block.blob = None
+                block.records = None
         else:
-            # Deca: raw page bytes go straight to disk — no serialization.
+            # Deca: raw page bytes, never serialized (Appendix C).
             group = block.page_group
             assert group is not None
-            block._disk_payload = [bytes(p.data[:p.used])
-                                   for p in group.pages]
-            group.reclaim()
+            if tier is not None:
+                if block._tier_key is None:
+                    block._tier_key = self._tier_name(block)
+                    tier_moved = tier.swap_out(
+                        block._tier_key,
+                        [memoryview(p.data)[:p.used]
+                         for p in group.pages])
+                # else: the resident pages alias the extent (the block
+                # was promoted earlier) — the bytes are already cold.
+                block._tier_resident = False
+                group.reclaim()
+            else:
+                # Heap tier: the bytes round-trip the Python heap.
+                # Drain page by page — charge the copy, stream it into
+                # the disk image (parked payload bytes model *disk*
+                # content, off-heap), release the source — so the
+                # double-buffer transient is accounted and bounded at
+                # one page, instead of copying the whole group
+                # (unaccounted, ~2x peak) before reclaim.
+                copy_group = executor.heap.new_group(
+                    f"swap-copy:{key}", Lifetime.PINNED)
+                chunks: list[bytes] = []
+                for chunk in group.drain():
+                    executor.serializer.note_swap_copy(len(chunk))
+                    copy_bytes = array_bytes(1, len(chunk))
+                    executor.heap.allocate(copy_group, 1, copy_bytes)
+                    chunks.append(chunk)
+                    copy_group.shrink(copy_bytes)
+                block._disk_payload = chunks
             block.page_group = None
-        executor.charge_disk_write(block.disk_bytes)
+        if tier is not None:
+            # Extent-backed payloads pay for the bytes actually moved;
+            # parked object/record payloads pay for their disk image
+            # landing in the tier file (no seek either way).
+            executor.charge_tier_write(
+                tier_moved if block._tier_key is not None
+                else block.disk_bytes)
+        else:
+            executor.charge_disk_write(block.disk_bytes)
+        if copy_group is not None and not copy_group.freed:
+            # The copies reached the disk with the write above.
+            executor.heap.free_group(copy_group)
         if block.alloc_group is not None and not block.alloc_group.freed:
             executor.heap.free_group(block.alloc_group)
             block.alloc_group = None
@@ -247,40 +338,73 @@ class CacheStore:
         block.memory_bytes = 0
         self._resident_bytes -= released
         self.swapped_bytes_total += block.disk_bytes
-        executor.tracer.instant(
-            "cache:swap-out", "cache", ts_ms=executor.clock.now_ms,
-            pid=executor.trace_pid, rdd_id=key[0], partition=key[1],
+        swap_args = dict(
+            rdd_id=key[0], partition=key[1],
             strategy=block.strategy.value, released_bytes=released,
             disk_bytes=block.disk_bytes,
             heap_used_bytes=(executor.heap.young_used_bytes
                              + executor.heap.old_used_bytes))
+        if tier is not None:
+            swap_args["tier_bytes"] = tier_moved
+            if executor.on_demote is not None:
+                # Tell the execution backend: mp workers must not keep
+                # resolving this block's shared-memory copy as hot.
+                executor.on_demote(key)
+        executor.tracer.instant(
+            "cache:swap-out", "cache", ts_ms=executor.clock.now_ms,
+            pid=executor.trace_pid, **swap_args)
         return released
 
     def swap_in(self, key: BlockKey) -> CachedBlock:
-        """Read a swapped block back (charging disk + deser costs)."""
+        """Read a swapped block back (charging tier/disk + deser costs)."""
         block = self.blocks[key]
-        if not block.on_disk:
+        if not block.on_disk or key in self._inflight:
             return block
+        self._inflight.add(key)
+        try:
+            return self._swap_in(key, block)
+        finally:
+            self._inflight.discard(key)
+
+    def _swap_in(self, key: BlockKey, block: CachedBlock) -> CachedBlock:
         executor = self.executor
-        executor.charge_disk_read(block.disk_bytes)
+        tier = executor.cold_tier
+        if tier is not None:
+            executor.charge_tier_read(block.disk_bytes)
+        else:
+            executor.charge_disk_read(block.disk_bytes)
         if block.strategy is StorageStrategy.OBJECTS:
             executor.serializer.kryo_deserialize(
                 block.footprint.objects, block.disk_bytes)
             block.records = block._disk_payload
-            block.memory_bytes = block.footprint.object_bytes
+            # Swap symmetry: readmit what swap-out actually released.
+            block.memory_bytes = (block._swap_released_bytes
+                                  or block.footprint.object_bytes)
             group = executor.heap.new_group(
                 f"cache:{block.key}", Lifetime.PINNED)
             executor.heap.allocate(group, block.footprint.objects,
                                    block.memory_bytes)
             block.alloc_group = group
         elif block.strategy is StorageStrategy.SERIALIZED:
-            payload = block._disk_payload
-            if isinstance(payload, (bytes, bytearray)):
-                block.blob = payload
-                block.memory_bytes = len(payload)
+            if tier is not None and block._tier_key is not None:
+                # Zero-copy promotion: the blob is a view of its extent.
+                views = tier.swap_in(block._tier_key)
+                blob = views[0] if views else memoryview(b"")
+                block.blob = blob
+                block.memory_bytes = len(blob)
+                block._tier_resident = True
             else:
-                block.records = payload
-                block.memory_bytes = block.footprint.serialized_bytes
+                payload = block._disk_payload
+                if isinstance(payload, (bytes, bytearray, memoryview)):
+                    block.blob = payload
+                    block.memory_bytes = len(payload)
+                else:
+                    block.records = payload
+                    # Swap symmetry: the record list was tracked at the
+                    # released size, not at the footprint's estimate.
+                    block.memory_bytes = (
+                        block._swap_released_bytes
+                        or block.footprint.serialized_bytes)
             group = executor.heap.new_group(
                 f"cache:{block.key}", Lifetime.PINNED)
             executor.heap.allocate(group, 2, block.memory_bytes)
@@ -288,9 +412,17 @@ class CacheStore:
         else:
             group = executor.memory_manager.new_page_group(
                 f"cache:{block.key}:{self._tick}", evictable=True)
-            for chunk in block._disk_payload:
-                page, offset = group.reserve(len(chunk))
-                page.data[offset:offset + len(chunk)] = chunk
+            if tier is not None and block._tier_key is not None:
+                # Zero-copy promotion: mount the extent's views as
+                # pages, readable through the SUDT/schema accessors.
+                for view in tier.swap_in(block._tier_key):
+                    group.adopt_page(view)
+                block._tier_resident = True
+            else:
+                for chunk in block._disk_payload:
+                    executor.serializer.note_swap_copy(len(chunk))
+                    page, offset = group.reserve(len(chunk))
+                    page.data[offset:offset + len(chunk)] = chunk
             block.page_group = group
             block.memory_bytes = group.allocated_bytes
         block._disk_payload = None
@@ -373,6 +505,11 @@ class CacheStore:
         block.records = None
         block.blob = None
         block._disk_payload = None
+        tier = self.executor.cold_tier
+        if tier is not None and block._tier_key is not None:
+            tier.drop(block._tier_key)
+            block._tier_key = None
+            block._tier_resident = False
 
     def read_records(self, key: BlockKey) -> Iterator[Any]:
         """Iterate a block's records, charging mode-appropriate costs.
@@ -421,7 +558,12 @@ class CacheStore:
     def _read_from_disk(self, block: CachedBlock) -> Iterator[Any]:
         """Stream a swapped block's records without re-promoting it."""
         executor = self.executor
-        executor.charge_disk_read(block.disk_bytes)
+        tier = executor.cold_tier
+        tier_key = block._tier_key if tier is not None else None
+        if tier is not None:
+            executor.charge_tier_read(block.disk_bytes)
+        else:
+            executor.charge_disk_read(block.disk_bytes)
         if block.strategy is StorageStrategy.OBJECTS:
             executor.serializer.kryo_deserialize(block.footprint.objects,
                                                  block.disk_bytes)
@@ -433,9 +575,13 @@ class CacheStore:
         if block.strategy is StorageStrategy.SERIALIZED:
             executor.serializer.kryo_deserialize(block.footprint.objects,
                                                  block.disk_bytes)
-            payload = block._disk_payload
+            if tier_key is not None:
+                views = tier.views(tier_key)
+                payload = views[0] if views else memoryview(b"")
+            else:
+                payload = block._disk_payload
             decode = block.decode or (lambda v: v)
-            if isinstance(payload, (bytes, bytearray)) \
+            if isinstance(payload, (bytes, bytearray, memoryview)) \
                     and block.schema is not None:
                 offset = 0
                 for _ in range(block.record_count):
@@ -445,11 +591,14 @@ class CacheStore:
             else:
                 yield from payload
             return
-        # DECA_PAGES: the on-disk bytes are already the record format.
+        # DECA_PAGES: the cold bytes are already the record format — in
+        # the mmap tier they stream straight out of the extent's views.
         executor.serializer.deca_read(block.record_count, block.disk_bytes)
         assert block.schema is not None
         decode = block.decode or (lambda v: v)
-        for chunk in block._disk_payload:
+        chunks = (tier.views(tier_key) if tier_key is not None
+                  else block._disk_payload)
+        for chunk in chunks:
             offset = 0
             while offset < len(chunk):
                 value, offset = block.schema.unpack_from(chunk, offset)

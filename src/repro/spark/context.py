@@ -100,6 +100,8 @@ class DecaContext:
         # scheduler's in-process loop runs); the mp backend runs them on
         # forked workers with shared-memory pages (repro.exec).
         self.backend = create_backend(self)
+        for executor in self.executors:
+            executor.on_demote = self.backend.demote_block
         self.partitioner = stable_hash
         # Per-context id sequences: a fresh context numbers RDDs and
         # shuffles from zero, keeping same-seed runs byte-identical even
@@ -354,6 +356,18 @@ class DecaContext:
         # reports what the run actually leaked — zero, or a bug.
         self.backend.shutdown()
         run.backend = dict(self.backend.stats.to_dict())
+        # Cold-tier teardown: sum each executor's tier stats, then close
+        # (fd + unlink) — iterate the private slot so executors that
+        # never swapped don't get a tier created as a side effect.
+        for executor in self.executors:
+            tier = executor._cold_tier
+            if tier is None:
+                continue
+            for field_name, value in tier.stats.to_dict().items():
+                run.tier[field_name] = run.tier.get(field_name, 0) + value
+            run.tier["tier_ms"] = (run.tier.get("tier_ms", 0)
+                                   + round(executor.tier_ms_total, 3))
+            tier.close()
         for rdd in self._rdds.values():
             if rdd.is_cached:
                 nbytes = self.cached_bytes_of(rdd)

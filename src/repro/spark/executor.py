@@ -9,7 +9,7 @@ every thread — land at full price via the heap.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, TYPE_CHECKING
+from typing import Any, Callable, Iterator, TYPE_CHECKING
 
 from ..config import DecaConfig
 from ..errors import ExecutorLostError, TaskKilledError
@@ -17,6 +17,7 @@ from ..jvm.heap import SimHeap
 from ..jvm.objects import AllocationGroup, Lifetime
 from ..jvm.stats import GcEvent
 from ..memory.manager import DecaMemoryManager
+from ..memory.tier import PageStoreTier
 from ..memory.unified import UnifiedMemoryManager, create_memory_arena
 from ..obs import Tracer
 from ..simtime import SimClock
@@ -76,6 +77,14 @@ class Executor:
         # Cumulative I/O time (for Fig. 11 breakdowns).
         self.disk_ms_total = 0.0
         self.network_ms_total = 0.0
+        self.tier_ms_total = 0.0
+        # The mmap cold tier, created lazily on first swap so runs that
+        # never swap never touch the filesystem (cold_tier="heap" keeps
+        # this None forever).
+        self._cold_tier: PageStoreTier | None = None
+        # Set by the context: notifies the execution backend that a
+        # block went cold, so mp workers stop resolving it as shm.
+        self.on_demote: "Callable[[tuple[int, int]], None] | None" = None
         # -- fault tolerance state --
         self.alive = True
         self.lost_count = 0
@@ -195,6 +204,47 @@ class Executor:
         self.tracer.complete("disk:read", "io.disk", ts_ms=start_ms,
                              dur_ms=ms, pid=self.trace_pid, nbytes=nbytes)
         self._sample()
+
+    def charge_tier_write(self, nbytes: int) -> None:
+        """Charge moving bytes into the mmap cold tier: memory-bus
+        bandwidth, no seek — the point of not serializing to disk."""
+        if nbytes <= 0:
+            return
+        ms = self.config.io.tier_write_per_byte_ms * nbytes \
+            / self.parallelism
+        start_ms = self.clock.now_ms
+        self.clock.advance(ms)
+        self.tier_ms_total += ms
+        if self._current_task is not None:
+            self._current_task.metrics.cache_io_ms += ms
+        self.tracer.complete("tier:write", "io.tier", ts_ms=start_ms,
+                             dur_ms=ms, pid=self.trace_pid, nbytes=nbytes)
+        self._sample()
+
+    def charge_tier_read(self, nbytes: int) -> None:
+        if nbytes <= 0:
+            return
+        ms = self.config.io.tier_read_per_byte_ms * nbytes \
+            / self.parallelism
+        start_ms = self.clock.now_ms
+        self.clock.advance(ms)
+        self.tier_ms_total += ms
+        if self._current_task is not None:
+            self._current_task.metrics.cache_io_ms += ms
+        self.tracer.complete("tier:read", "io.tier", ts_ms=start_ms,
+                             dur_ms=ms, pid=self.trace_pid, nbytes=nbytes)
+        self._sample()
+
+    @property
+    def cold_tier(self) -> PageStoreTier | None:
+        """The executor's mmap cold tier, or ``None`` under ``"heap"``."""
+        if self.config.cold_tier != "mmap":
+            return None
+        if self._cold_tier is None:
+            self._cold_tier = PageStoreTier(
+                tracer=self.tracer, clock=self.clock, pid=self.trace_pid,
+                tag=f"e{self.executor_id}")
+        return self._cold_tier
 
     def charge_network(self, nbytes: int) -> None:
         io = self.config.io

@@ -159,6 +159,9 @@ class RunMetrics:
     # Execution-backend traffic accounting (repro.exec.BackendStats):
     # pickled vs shared-memory bytes crossing process boundaries.
     backend: dict[str, "int | str"] = field(default_factory=dict)
+    # mmap cold-tier accounting (repro.memory.tier.TierStats, summed
+    # across executors); empty under cold_tier="heap".
+    tier: dict[str, "int | str"] = field(default_factory=dict)
 
     @property
     def gc_pause_ms(self) -> float:

@@ -27,6 +27,11 @@ class SerializerModel:
         self.parallelism = max(1, parallelism)
         self.ser_ms_total = 0.0
         self.deser_ms_total = 0.0
+        # Bytes the *heap* cold tier round-trips through Python-heap
+        # copies while swapping Deca blocks (the cost the mmap tier
+        # eliminates).  A byte counter only — it never advances the
+        # clock, so heap-mode timings stay identical to the seed.
+        self.swap_copy_bytes_total = 0
         # Optional sink called with ("ser"|"deser", charged_ms) so the
         # executor can attribute the time to the running task (Fig. 11).
         self.on_charge = None
@@ -35,6 +40,10 @@ class SerializerModel:
         scaled = ms / self.parallelism
         self.clock.advance(scaled)
         return scaled
+
+    def note_swap_copy(self, nbytes: int) -> None:
+        """Count *nbytes* of swap-path heap copies (no time charge)."""
+        self.swap_copy_bytes_total += nbytes
 
     # -- Kryo ------------------------------------------------------------------
     def kryo_serialize(self, objects: int, nbytes: int) -> float:

@@ -186,6 +186,214 @@ class TestResidentBytesCounter:
         assert store.memory_bytes == store.recompute_memory_bytes() == 0
 
 
+class TestDecaSwapDoubleBuffering:
+    def test_swap_copies_are_charged_and_bounded(self):
+        """Heap-tier Deca swap must account its transient page copies
+        and stream them page by page: the old path copied the whole
+        group into unaccounted ``bytes`` objects before reclaiming it
+        (~2x the group's footprint, invisible to the heap model)."""
+        from repro.jvm.sizing import array_bytes
+
+        # Pin the heap tier: the drain bound under test IS the heap
+        # path (the mmap tier moves bytes without any heap copies).
+        ctx, rdd, _ = ctx_with_cached(ExecutionMode.DECA,
+                                      cold_tier="heap")
+        executor = ctx.executors[0]
+        store = executor.cache
+        key = next(k for k, b in store.blocks.items()
+                   if b.page_group is not None)
+        group = store.blocks[key].page_group
+        used = group.used_bytes
+        page_capacity = max(p.capacity for p in group.pages)
+        heap = executor.heap
+        baseline = heap.young_used_bytes + heap.old_used_bytes
+        peak = [baseline]
+        real_allocate = heap.allocate
+
+        def spying_allocate(alloc_group, objects, nbytes):
+            real_allocate(alloc_group, objects, nbytes)
+            peak[0] = max(peak[0],
+                          heap.young_used_bytes + heap.old_used_bytes)
+
+        heap.allocate = spying_allocate
+        try:
+            store.swap_out(key)
+        finally:
+            heap.allocate = real_allocate
+        # The copies were charged (pre-fix: zero — they never touched
+        # the accounting plane)...
+        assert executor.serializer.swap_copy_bytes_total == used > 0
+        # ...and the double-buffer transient is one page, not the group.
+        assert peak[0] <= baseline + array_bytes(1, page_capacity)
+
+
+class TestReentrantEvictionGuard:
+    def test_mid_swap_pressure_cannot_revictimize_the_swapping_block(self):
+        """The drain's copy charges can raise heap pressure while the
+        block is halfway out; under its stale LRU tick (and still
+        ``on_disk=False``) the victim selector used to pick that very
+        block and double-drain its reclaimed page group."""
+        ctx, rdd, data = ctx_with_cached(ExecutionMode.DECA)
+        executor = ctx.executors[0]
+        store = executor.cache
+        key = next(k for k, b in store.blocks.items()
+                   if b.page_group is not None)
+        real_note = executor.serializer.note_swap_copy
+
+        def hostile_note(nbytes):
+            # Simulate the re-entrant pressure the copy charge raises.
+            real_note(nbytes)
+            store.release_for_pressure(1)
+
+        executor.serializer.note_swap_copy = hostile_note
+        try:
+            released = store.swap_out(key)
+        finally:
+            executor.serializer.note_swap_copy = real_note
+        assert released > 0
+        assert store.blocks[key].on_disk
+        # One drain, one accounting decrement: the resident counter
+        # still matches ground truth (the double-drain corrupted it).
+        assert store.memory_bytes == store.recompute_memory_bytes()
+        assert sorted(rdd.collect()) == sorted(data)
+
+    def test_lru_victim_skips_inflight_keys(self):
+        executor, store = bare_store()
+        block_a = object_block(executor, rdd_id=1)
+        block_b = object_block(executor, rdd_id=2)
+        store.put(block_a)
+        store.put(block_b)
+        store._inflight.add(block_a.key)
+        try:
+            assert store._lru_victim() == block_b.key
+        finally:
+            store._inflight.discard(block_a.key)
+        assert store._lru_victim() == block_a.key
+
+
+def serialized_record_block(executor, rdd_id, memory_bytes=9_000):
+    """A schema-less SERIALIZED block whose tracked size deliberately
+    differs from its footprint's serialized-size estimate."""
+    footprint = RecordFootprint(objects=10, object_bytes=12_000,
+                                data_bytes=4_000)
+    assert footprint.serialized_bytes != memory_bytes
+    group = executor.heap.new_group(f"cache:({rdd_id}, 0)",
+                                    Lifetime.PINNED)
+    executor.heap.allocate(group, 2, memory_bytes)
+    return CachedBlock(
+        key=(rdd_id, 0), strategy=StorageStrategy.SERIALIZED,
+        records=[(rdd_id, i) for i in range(10)], blob=None,
+        page_group=None, schema=None, decode=None, record_count=10,
+        memory_bytes=memory_bytes, disk_bytes=4_000, footprint=footprint,
+        alloc_group=group)
+
+
+class TestSwapByteSymmetry:
+    def test_serialized_record_block_readmits_released_bytes(self):
+        """Swap-in must restore what swap-out released: charging the
+        footprint's ``serialized_bytes`` estimate instead leaks the
+        difference into the resident counter on every round trip."""
+        executor, store = bare_store()
+        block = serialized_record_block(executor, rdd_id=7)
+        store.put(block)
+        released = store.swap_out(block.key)
+        assert released == 9_000
+        restored = store.swap_in(block.key)
+        assert restored.memory_bytes == released
+        assert store.memory_bytes == store.recompute_memory_bytes()
+
+    def test_objects_block_readmits_released_bytes(self):
+        executor, store = bare_store()
+        block = object_block(executor, rdd_id=8, nbytes=10_000)
+        # Tracked size drifted from the footprint estimate (e.g. the
+        # measurement sampled) — symmetry must still hold.
+        block.memory_bytes = 11_000
+        store.put(block)
+        released = store.swap_out(block.key)
+        assert released == 11_000
+        assert store.swap_in(block.key).memory_bytes == released
+        assert store.memory_bytes == store.recompute_memory_bytes()
+
+
+class TestMmapColdTier:
+    @pytest.mark.parametrize("mode", list(ExecutionMode),
+                             ids=lambda m: m.value)
+    def test_swap_roundtrip_reads_back_identically(self, mode):
+        ctx, rdd, data = ctx_with_cached(mode, cold_tier="mmap")
+        store = ctx.executors[0].cache
+        for key in list(store.blocks):
+            store.swap_out(key)
+        assert all(b.on_disk for b in store.blocks.values())
+        assert sorted(rdd.collect()) == sorted(data)
+
+    def test_deca_swap_moves_bytes_without_heap_copies(self):
+        """The tentpole property: under the mmap tier the Deca swap is
+        a byte move — no serializer charge, no heap round trip."""
+        ctx, rdd, _ = ctx_with_cached(ExecutionMode.DECA,
+                                      cold_tier="mmap")
+        executor = ctx.executors[0]
+        used = sum(b.page_group.used_bytes
+                   for b in executor.cache.blocks.values())
+        ser_before = executor.serializer.ser_ms_total
+        for key in list(executor.cache.blocks):
+            executor.cache.swap_out(key)
+        assert executor.serializer.swap_copy_bytes_total == 0
+        assert executor.serializer.ser_ms_total == ser_before
+        assert executor.cold_tier.stats.bytes_moved_out == used > 0
+
+    def test_promotion_aliases_extent_and_reevict_moves_nothing(self):
+        ctx, rdd, data = ctx_with_cached(ExecutionMode.DECA,
+                                         cold_tier="mmap")
+        executor = ctx.executors[0]
+        store = executor.cache
+        key = next(iter(store.blocks))
+        store.swap_out(key)
+        tier = executor.cold_tier
+        moved = tier.stats.bytes_moved_out
+        block = store.swap_in(key)
+        assert not block.on_disk
+        assert block._tier_resident
+        assert tier.has(store._tier_name(block))
+        store.swap_out(key)
+        # Warm re-eviction: the resident pages aliased the extent, so
+        # demoting again moves zero bytes.
+        assert tier.stats.bytes_moved_out == moved
+        assert sorted(rdd.collect()) == sorted(data)
+
+    def test_drop_releases_extents(self):
+        ctx, rdd, _ = ctx_with_cached(ExecutionMode.DECA,
+                                      cold_tier="mmap")
+        executor = ctx.executors[0]
+        store = executor.cache
+        for key in list(store.blocks):
+            store.swap_out(key)
+        tier = executor.cold_tier
+        assert tier.stats.extents_live > 0
+        store.invalidate_all()
+        assert tier.stats.extents_live == 0
+        assert tier.live_bytes == 0
+
+    def test_run_metrics_capture_tier_stats(self):
+        ctx, rdd, _ = ctx_with_cached(ExecutionMode.DECA,
+                                      cold_tier="mmap")
+        store = ctx.executors[0].cache
+        for key in list(store.blocks):
+            store.swap_out(key)
+        run = ctx.finish()
+        assert run.tier["swap_out_count"] >= 1
+        assert run.tier["bytes_moved_out"] > 0
+        assert run.tier["tier_ms"] > 0
+
+    def test_heap_mode_has_no_tier(self):
+        ctx, rdd, _ = ctx_with_cached(ExecutionMode.DECA,
+                                      cold_tier="heap")
+        executor = ctx.executors[0]
+        for key in list(executor.cache.blocks):
+            executor.cache.swap_out(key)
+        assert executor.cold_tier is None
+        assert ctx.finish().tier == {}
+
+
 class TestPageInfoCursor:
     def test_cursor_resets(self):
         from repro.memory import PageGroup

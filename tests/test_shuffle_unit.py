@@ -211,7 +211,9 @@ class TestSpillMerge:
                          page_access_ms=0.0),
             io=IoCosts(disk_write_per_byte_ms=0.0,
                        disk_read_per_byte_ms=0.0, disk_seek_ms=0.0,
-                       network_per_byte_ms=0.0, network_rtt_ms=0.0),
+                       network_per_byte_ms=0.0, network_rtt_ms=0.0,
+                       tier_write_per_byte_ms=0.0,
+                       tier_read_per_byte_ms=0.0),
             serializer=SerializerCosts(kryo_ser_per_object_ms=0.0,
                                        kryo_deser_per_object_ms=0.0,
                                        deca_write_per_object_ms=0.0,

@@ -113,7 +113,10 @@ class TestCacheEvictionAndSwap:
         ctx = make_ctx(heap_mb=2, storage_fraction=0.05,
                        shuffle_fraction=0.1)
         self._fill(ctx)
-        assert any(e.disk_ms_total > 0 for e in ctx.executors)
+        # Under cold_tier="mmap" the same traffic is charged to the
+        # (faster) tier clock instead of the disk clock.
+        assert any(e.disk_ms_total > 0 or e.tier_ms_total > 0
+                   for e in ctx.executors)
 
     def test_missing_block_raises(self):
         ctx = make_ctx()
