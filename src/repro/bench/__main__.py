@@ -42,7 +42,12 @@ from .harness import (
     run_trace_point,
     run_wc_point,
 )
-from .report import rows_as_json, rows_as_table, write_json_result
+from .report import (
+    RESULTS_DIR,
+    rows_as_json,
+    rows_as_table,
+    write_json_result,
+)
 
 
 def _modes(names: list[str] | None) -> list[ExecutionMode]:
@@ -128,6 +133,26 @@ def main(argv: list[str] | None = None) -> int:
                       help="keep only findings whose rule id starts with "
                            "one of these prefixes (e.g. DECA2 for the "
                            "closure family); summaries are unaffected")
+    lint.add_argument("--check", action="store_true",
+                      help="compare against the committed baseline "
+                           "(benchmarks/baselines/lint_baseline.json "
+                           "unless --baseline overrides it) and exit 1 "
+                           "on any finding it does not contain")
+
+    sz = sub.add_parser(
+        "sanitize",
+        help="prove the runtime alias sanitizer live: drive each seeded "
+             "DECA30x bug fixture against a real tier/registry/ledger, "
+             "then run clean WC+PageRank under REPRO_SANITIZE semantics")
+    sz.add_argument("--fixtures-only", action="store_true",
+                    help="skip the clean WC/PageRank runs (fixture "
+                         "checks only)")
+    sz.add_argument("--backends", nargs="*", default=["sim", "mp"],
+                    choices=["sim", "mp"],
+                    help="backends for the clean runs (default: both)")
+    sz.add_argument("--seed", type=int, default=17)
+    sz.add_argument("--json", metavar="NAME",
+                    help="also write benchmarks/results/<NAME>.json")
 
     mem = sub.add_parser(
         "memory",
@@ -214,6 +239,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.app == "lint":
         return _run_lint(args)
+    if args.app == "sanitize":
+        return _run_sanitize(args)
     if args.app == "trace":
         return _run_trace(args)
     if args.app == "memory":
@@ -308,14 +335,18 @@ def _run_lint(args) -> int:
         path = write_json_result(args.out, payload)
         print(f"wrote {path}", file=sys.stderr)
 
+    baseline_path = args.baseline
+    if args.check and not baseline_path:
+        baseline_path = os.path.join(os.path.dirname(RESULTS_DIR),
+                                     "baselines", "lint_baseline.json")
     status = 0
-    if args.baseline:
-        with open(args.baseline, encoding="utf-8") as handle:
+    if baseline_path:
+        with open(baseline_path, encoding="utf-8") as handle:
             baseline = json.load(handle)
         new_findings = baseline_diff(payload, baseline)
         if new_findings:
             print(f"{len(new_findings)} finding(s) not in baseline "
-                  f"{args.baseline}:", file=sys.stderr)
+                  f"{baseline_path}:", file=sys.stderr)
             for identity in new_findings:
                 print(f"  {identity}", file=sys.stderr)
             status = 1
@@ -323,6 +354,198 @@ def _run_lint(args) -> int:
         print("deca-lint: error-severity findings present",
               file=sys.stderr)
         status = 1
+    return status
+
+
+def _sanitize_fixture_checks() -> list[dict]:
+    """Drive every seeded DECA30x bug against a live ledger.
+
+    Each fixture from :mod:`repro.lint.fixtures.borrow_bugs` runs with
+    its own fresh :class:`ProvenanceLedger` wired into real runtime
+    objects (mmap tier, page group, segment registry); the check passes
+    when the ledger records at least one violation with exactly the
+    slug the fixture's rule maps to.
+    """
+    import tempfile
+
+    from ..exec.shm import SegmentRef, ShmSegmentRegistry, SharedPageSegment
+    from ..lint.fixtures import borrow_bugs
+    from ..memory.page import PageGroup
+    from ..memory.provenance import ProvenanceLedger
+    from ..memory.tier import PageStoreTier
+
+    class _Scratch:
+        """Stand-in resizable mapping for the remap fixture."""
+
+        def resize(self, nbytes: int) -> None:
+            return None
+
+    rows: list[dict] = []
+
+    def run(rule: str, slug: str, drive) -> None:
+        ledger = ProvenanceLedger()
+        with tempfile.TemporaryDirectory() as tmp:
+            holds = drive(ledger, tmp) or []
+            ledger.check_finish()
+            count = ledger.counters.get(slug, 0)
+            for view in holds:
+                try:
+                    view.release()
+                except BufferError:
+                    pass
+            borrow_bugs.reset()
+        rows.append({"rule": rule, "slug": slug, "violations": count,
+                     "fired": count > 0})
+
+    def drive_301(ledger, tmp):
+        tier = PageStoreTier(f"{tmp}/t301.bin", ledger=ledger)
+        tier.swap_out("fx-uaf", [b"\xaa" * 64])
+        view = borrow_bugs.bug_use_after_free_extent(tier)
+        held = [view]
+        tier.close()
+        return held
+
+    def drive_302(ledger, tmp):
+        name = "repro-fx-302"
+        registry = ShmSegmentRegistry(ledger=ledger)
+        seed = SharedPageSegment(name, 4096, create=True)
+        registry.register(SegmentRef(name=name, nbytes=4096, count=0))
+        view = borrow_bugs.bug_use_after_unlink_segment(
+            registry, ledger, name)
+        held = [view]
+        seed.close()
+        return held
+
+    def drive_303(ledger, tmp):
+        tier = PageStoreTier(f"{tmp}/t303.bin", ledger=ledger)
+        tier.swap_out("fx-df", [b"\xaa" * 64])
+        borrow_bugs.bug_double_free(tier)
+        tier.close()
+        return []
+
+    def drive_304(ledger, tmp):
+        tier = PageStoreTier(f"{tmp}/t304.bin", ledger=ledger)
+        tier.swap_out("fx-esc", [b"\xaa" * 64])
+        group = PageGroup("fx-esc", page_bytes=4096)
+        group.ledger = ledger
+        borrow_bugs.bug_view_escapes_adoption(tier, group, ledger)
+        return []
+
+    def drive_305(ledger, tmp):
+        tier = PageStoreTier(f"{tmp}/t305.bin", ledger=ledger)
+        tier.swap_out("fx-remap", [b"\xaa" * 64])
+        views = borrow_bugs.bug_remap_invalidates_export(
+            tier, ledger, _Scratch())
+        return list(views)
+
+    def drive_306(ledger, tmp):
+        tier = PageStoreTier(f"{tmp}/t306.bin", ledger=ledger)
+        tier.swap_out("fx-leak", [b"\xaa" * 64])
+        views = borrow_bugs.bug_leak_at_finish(tier, stop_early=True)
+        return list(views)
+
+    def drive_307(ledger, tmp):
+        entry = borrow_bugs.BadCacheEntry(b"\xaa" * 64)
+        borrow_bugs.bug_cross_process_cold_alias(entry, ledger,
+                                                 "fx-cold")
+        return []
+
+    def drive_308(ledger, tmp):
+        group = PageGroup("fx-drain", page_bytes=4096)
+        group.append_bytes(b"\xaa" * 48)
+        group.ledger = ledger
+        borrow_bugs.bug_unreleased_drain_copy(group, ledger)
+        return []
+
+    run("DECA301", "use-after-free-extent", drive_301)
+    run("DECA302", "use-after-unlink-segment", drive_302)
+    run("DECA303", "double-free", drive_303)
+    run("DECA304", "view-escapes-adoption", drive_304)
+    run("DECA305", "remap-invalidates-export", drive_305)
+    run("DECA306", "leak-at-finish", drive_306)
+    run("DECA307", "cross-process-cold-alias", drive_307)
+    run("DECA308", "unreleased-drain-copy", drive_308)
+    return rows
+
+
+def _run_sanitize(args) -> int:
+    """The ``sanitize`` subcommand: prove every DECA30x rule live.
+
+    Two halves: (1) seeded-bug fixtures must each trip the runtime
+    sanitizer with exactly their violation slug; (2) the clean WC and
+    PageRank workloads must run to completion under ``sanitize=True``
+    with ``cold_tier="mmap"`` on every requested backend, recording
+    zero violations.
+    """
+    import random
+
+    from ..apps.pagerank import run_pagerank
+    from ..apps.wordcount import run_wordcount
+    from ..config import DecaConfig
+
+    status = 0
+    fixture_rows = _sanitize_fixture_checks()
+    print("repro.bench sanitize · seeded-bug fixtures")
+    for row in fixture_rows:
+        verdict = "fired" if row["fired"] else "MISSED"
+        print(f"  {row['rule']} {row['slug']:<28} "
+              f"violations={row['violations']:>2}  {verdict}")
+        if not row["fired"]:
+            status = 1
+
+    clean_cells: list[dict] = []
+    if not args.fixtures_only:
+        rng = random.Random(args.seed)
+        words = [f"w{rng.randrange(2_000)}" for _ in range(40_000)]
+        edges = sorted({(rng.randrange(400), rng.randrange(400))
+                        for _ in range(2_000)})
+        print("repro.bench sanitize · clean runs "
+              "(deca mode, cold_tier=mmap)")
+        for backend in args.backends:
+            for app in ("wc", "pr"):
+                cfg = DecaConfig(mode=ExecutionMode.DECA,
+                                 execution_backend=backend,
+                                 cold_tier="mmap", sanitize=True)
+                try:
+                    if app == "wc":
+                        run = run_wordcount(words, cfg, num_partitions=4)
+                    else:
+                        run = run_pagerank(edges, cfg, iterations=3,
+                                           num_partitions=4)
+                    counters = dict(run.metrics.sanitize)
+                    violations = counters.get("violations", 0)
+                except Exception as exc:   # SanitizerError included
+                    counters = {}
+                    violations = -1
+                    print(f"  {app}/{backend}: FAILED ({exc})",
+                          file=sys.stderr)
+                clean = violations == 0
+                clean_cells.append({
+                    "app": app, "backend": backend,
+                    "violations": violations,
+                    "borrows": counters.get("borrows", 0),
+                    "frees": counters.get("frees", 0),
+                    "clean": clean,
+                })
+                if not clean:
+                    status = 1
+                else:
+                    print(f"  {app}/{backend}: clean "
+                          f"(borrows={counters.get('borrows', 0)} "
+                          f"frees={counters.get('frees', 0)} "
+                          f"violations=0)")
+
+    if args.json:
+        path = write_json_result(args.json, {
+            "fixtures": fixture_rows,
+            "clean_runs": clean_cells,
+            "ok": status == 0,
+        })
+        print(f"wrote {path}")
+    if status == 0:
+        print("sanitize: all rules fired on fixtures; clean runs clean")
+    else:
+        print("sanitize: FAILURES (see above)", file=sys.stderr)
     return status
 
 

@@ -251,6 +251,19 @@ def _default_mp_workers() -> int:
     return int(os.environ.get("REPRO_MP_WORKERS", "0"))
 
 
+def _default_sanitize() -> bool:
+    """Runtime alias-sanitizer switch, overridable via the environment.
+
+    ``REPRO_SANITIZE=1`` flips every context constructed with the default
+    config into sanitize mode: a :class:`repro.memory.provenance.
+    ProvenanceLedger` per executor records every exported zero-copy view,
+    poisons freed extents and fails the run at ``ctx.finish()`` if any
+    borrow outlived its backing bytes.  This is how the CI sanitizer leg
+    runs the whole test suite under the ledger without editing any test.
+    """
+    return os.environ.get("REPRO_SANITIZE", "0") not in ("", "0", "false")
+
+
 def _default_cold_tier() -> str:
     """Cold-tier selection, overridable per-process via the environment.
 
@@ -317,6 +330,14 @@ class DecaConfig:
     # store (repro.memory.tier) with zero-copy promotion — no ``bytes``
     # copies and no serializer charge on the Deca path.
     cold_tier: str = field(default_factory=_default_cold_tier)
+
+    # --- runtime alias sanitizer (docs/static_analysis.md) ----------------
+    # When on, every executor carries a ProvenanceLedger that records each
+    # exported zero-copy view with its backing (extent / shm segment /
+    # adopting page group), poisons freed extents with a sentinel fill and
+    # raises repro.errors.SanitizerError from ``ctx.finish()`` on any
+    # violation.  Off (the default) adds zero work to the hot paths.
+    sanitize: bool = field(default_factory=_default_sanitize)
 
     # --- Deca page geometry (§4.3.1) --------------------------------------
     page_bytes: int = 1 * MB

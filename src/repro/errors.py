@@ -156,6 +156,25 @@ class CacheError(ExecutionError):
     """A cache-manager failure (unknown block, bad storage level, ...)."""
 
 
+class SanitizerError(DecaError):
+    """The runtime alias sanitizer observed at least one provenance
+    violation (use-after-free extent, use-after-unlink segment, escaped
+    adoption, leaked transient borrow, ...).
+
+    Raised from ``DecaContext.finish()`` when ``DecaConfig.sanitize`` is
+    on, so corrupting aliasing bugs fail the run loudly instead of
+    yielding silently wrong results.  The per-rule violation counts are
+    attached as :attr:`summary`.
+    """
+
+    def __init__(self, summary: dict[str, int]) -> None:
+        shown = ", ".join(
+            f"{name}={count}" for name, count in sorted(summary.items())
+            if count)
+        super().__init__(f"sanitizer detected provenance violations: {shown}")
+        self.summary = summary
+
+
 class SqlError(DecaError):
     """An error in the mini columnar SQL engine (Table 6 baseline)."""
 

@@ -159,7 +159,10 @@ class MpBackend(ExecutionBackend):
         self.run_tag = f"{SEGMENT_PREFIX}-{os.getpid()}-{next(_RUN_IDS)}"
         self.num_workers = (ctx.config.mp_workers
                             or ctx.config.num_executors)
-        self.registry = ShmSegmentRegistry(on_unlink=self._segment_unlinked)
+        # The driver's provenance ledger (if sanitize mode is on) audits
+        # segment register/release — unlink with readers is a violation.
+        self.registry = ShmSegmentRegistry(on_unlink=self._segment_unlinked,
+                                           ledger=ctx.ledger)
         self.shuffle_meta: dict[int, ShuffleMeta] = {}
         self.cache_blocks: dict[tuple[int, int], CacheEntry] = {}
         self._cache_segments: dict[int, list[str]] = {}
@@ -311,6 +314,9 @@ class MpBackend(ExecutionBackend):
         if entry is None or entry.cold:
             return
         entry.cold = True
+        if (self.ctx.ledger is not None and entry.ref is not None
+                and entry.ref.name is not None):
+            self.ctx.ledger.note_demote("segment", entry.ref.name)
         self.stats.extra["blocks_demoted"] = \
             self.stats.extra.get("blocks_demoted", 0) + 1
 

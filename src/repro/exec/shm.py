@@ -37,6 +37,7 @@ from typing import Any, Callable, Iterator
 from ..errors import PageError
 from ..memory.layout import Schema
 from ..memory.page import Page, PageGroup
+from ..memory.provenance import ProvenanceLedger
 
 try:  # pragma: no cover - the stdlib ships both on every target platform
     from multiprocessing import resource_tracker, shared_memory
@@ -185,7 +186,7 @@ def pack_records_segment(name: str, schema: Schema, values: list,
 
 
 def attach_page_group(ref: SegmentRef, group_name: str | None = None,
-                      ) -> PageGroup:
+                      ledger: ProvenanceLedger | None = None) -> PageGroup:
     """Attach *ref* as a single-page read-side :class:`PageGroup`.
 
     The group's pages alias the shared mapping (zero-copy); reclaiming
@@ -216,6 +217,11 @@ def attach_page_group(ref: SegmentRef, group_name: str | None = None,
     page = Page(0, ref.nbytes, buffer=segment.view(ref.nbytes))
     page.used = ref.nbytes
     group.pages.append(page)
+    if ledger is not None:
+        # Sanitize mode: the mounted view is a borrow of the segment;
+        # reclaiming the group must detach it (checked at finish).
+        ledger.borrow("segment", ref.name, view=page.data, transient=False)
+        group.ledger = ledger
     return group
 
 
@@ -315,10 +321,13 @@ class ShmSegmentRegistry:
     """
 
     def __init__(self, on_unlink: Callable[[str, int], None] | None = None,
-                 ) -> None:
+                 ledger: ProvenanceLedger | None = None) -> None:
         self._refs: dict[str, int] = {}
         self._nbytes: dict[str, int] = {}
         self.on_unlink = on_unlink
+        # Sanitize mode: segment register/unlink transitions are checked
+        # against the driver-side provenance ledger (None = no-op).
+        self.ledger = ledger
         self.created_total = 0
         self.bytes_total = 0
         _arm_atexit()
@@ -340,6 +349,8 @@ class ShmSegmentRegistry:
         self._nbytes[ref.name] = ref.nbytes
         self.created_total += 1
         self.bytes_total += ref.nbytes
+        if self.ledger is not None:
+            self.ledger.note_alloc("segment", ref.name)
         _PENDING_UNLINK.add(ref.name)
 
     def acquire(self, name: str) -> None:
@@ -357,6 +368,10 @@ class ShmSegmentRegistry:
             return
         del self._refs[name]
         nbytes = self._nbytes.pop(name, 0)
+        if self.ledger is not None:
+            # The last reference is gone: any borrow still live over the
+            # segment is a use-after-unlink in the making.
+            self.ledger.note_free("segment", name)
         unlink_segment(name)
         _PENDING_UNLINK.discard(name)
         if self.on_unlink is not None:

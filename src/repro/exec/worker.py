@@ -30,7 +30,7 @@ import os
 import pickle
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, TYPE_CHECKING
+from typing import Any, Callable, Iterator, TYPE_CHECKING
 
 from ..errors import TaskKilledError
 from ..obs.tracer import TraceEvent, Tracer
@@ -326,7 +326,8 @@ class _WorkerRuntime:
                     f"({shuffle_id}, {map_part}, {reduce_part})")
 
     # -- cache shim ----------------------------------------------------------
-    def _cached_iterator(self, rdd: Any, split: int, task: TaskContext):
+    def _cached_iterator(self, rdd: Any, split: int,
+                         task: TaskContext) -> Iterator[Any]:
         key = (rdd.rdd_id, split)
         local = self.local_cache.get(key)
         if local is not None:

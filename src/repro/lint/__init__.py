@@ -11,14 +11,26 @@ Two layers over the Deca lifetime analysis (see ``docs/static_analysis.md``):
 * **closure rules** (``DECA201``–``DECA206``, ``DECA211``/``DECA212``) —
   run the bytecode-level closure analyzer over every UDF the shadow run
   registered, then double-run a sampled task and diff the outputs
-  (``docs/closure_analysis.md``).
+  (``docs/closure_analysis.md``);
+* **borrow rules** (``DECA301``–``DECA308``) — the zero-copy borrow
+  checker over the engine's own mmap/shm plumbing, reported under the
+  ``engine`` pseudo-app; the runtime counterpart is the alias sanitizer
+  (``REPRO_SANITIZE=1``, :mod:`repro.memory.provenance`).
 
 Entry points: :func:`run_lint` (library) and ``python -m repro.bench lint``
 (CLI, with text/JSON/SARIF output and a committed baseline checked in CI).
 """
 
+from .borrow import ENGINE_MODULES, analyze_source, run_borrow_rules
 from .closure_rules import app_sites, run_closure_rules
-from .engine import AppLintResult, LintReport, lint_app, run_lint
+from .engine import (
+    ENGINE_APP,
+    AppLintResult,
+    LintReport,
+    lint_app,
+    lint_engine,
+    run_lint,
+)
 from .findings import (
     Finding,
     Rule,
@@ -51,6 +63,8 @@ from .targets import LINT_APPS, LINT_APPS_BY_NAME, LintApp
 __all__ = [
     "AppLintResult",
     "ArenaEvent",
+    "ENGINE_APP",
+    "ENGINE_MODULES",
     "Finding",
     "LINT_APPS",
     "LINT_APPS_BY_NAME",
@@ -63,6 +77,7 @@ __all__ = [
     "Rule",
     "Severity",
     "ShadowRecorder",
+    "analyze_source",
     "app_sites",
     "baseline_diff",
     "check_arena_accounting",
@@ -70,6 +85,8 @@ __all__ = [
     "check_observations",
     "filter_report",
     "lint_app",
+    "lint_engine",
+    "run_borrow_rules",
     "run_closure_rules",
     "make_finding",
     "render_text",

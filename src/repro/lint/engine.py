@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .borrow import run_borrow_rules
 from .closure_rules import run_closure_rules
 from .findings import Finding, Severity, sort_findings
 from .rules import run_plan_rules, run_static_rules
@@ -86,6 +87,25 @@ def lint_app(app: LintApp, shadow: bool = True) -> AppLintResult:
                          summary=summary)
 
 
+#: Name of the pseudo-app auditing the engine itself (DECA301–308).
+ENGINE_APP = "engine"
+
+
+def lint_engine() -> AppLintResult:
+    """Borrow-check the engine's zero-copy modules (DECA301–DECA308).
+
+    Unlike the registered apps, the target here is the engine source
+    itself: the mmap tier, page groups, cache store and shm plumbing.
+    There is no shadow run — the dynamic counterpart is the runtime
+    sanitizer (``REPRO_SANITIZE=1``).
+    """
+    findings, summary = run_borrow_rules(target=ENGINE_APP)
+    return AppLintResult(
+        app=ENGINE_APP,
+        title="Engine zero-copy borrow audit (DECA301–308)",
+        findings=findings, summary=summary)
+
+
 def resolve_apps(names: list[str]) -> tuple[LintApp, ...]:
     """Turn CLI app names into registry entries (``all`` = every app)."""
     if not names or names == ["all"]:
@@ -101,6 +121,21 @@ def resolve_apps(names: list[str]) -> tuple[LintApp, ...]:
 
 
 def run_lint(names: list[str], shadow: bool = True) -> LintReport:
-    """Lint the named applications (``all``/empty = the full registry)."""
-    return LintReport(apps=tuple(lint_app(app, shadow=shadow)
-                                 for app in resolve_apps(names)))
+    """Lint the named applications (``all``/empty = the full registry).
+
+    The ``engine`` pseudo-app (the zero-copy borrow audit) rides along
+    with the full registry and can be requested by name; it is never a
+    registry entry, so it must be filtered out before app resolution.
+    """
+    app_names = [name for name in names if name != ENGINE_APP]
+    engine_requested = len(app_names) != len(names)
+    full_registry = not names or names == ["all"]
+    results: list[AppLintResult] = []
+    if full_registry or app_names:
+        # resolve_apps([]) means "every registered app", so a bare
+        # ``engine`` request must not reach it.
+        results.extend(lint_app(app, shadow=shadow)
+                       for app in resolve_apps(app_names))
+    if full_registry or engine_requested:
+        results.append(lint_engine())
+    return LintReport(apps=tuple(results))

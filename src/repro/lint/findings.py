@@ -116,6 +116,38 @@ RULES: tuple[Rule, ...] = (
          "A UDF the static analysis flagged nondeterministic produced "
          "identical outputs on a double-run; the sampled partition may "
          "simply not exercise the nondeterminism", "§4"),
+    Rule("DECA301", "use-after-free-extent", Severity.ERROR,
+         "A zero-copy view exported from a PageStoreTier extent reaches "
+         "the extent's drop() on some path with no intervening release; "
+         "the mmap bytes are recycled under the reader", "§4.3"),
+    Rule("DECA302", "use-after-unlink-segment", Severity.ERROR,
+         "A view over a shared-memory segment reaches the segment's "
+         "release/unlink on some path with no intervening release; the "
+         "reader holds a mapping the system already discarded", "§4.3"),
+    Rule("DECA303", "double-free", Severity.ERROR,
+         "An extent or segment is freed twice along one path with no "
+         "reallocation between the frees; the second free returns a "
+         "stranger's bytes to the free list", "§4.3"),
+    Rule("DECA304", "view-escapes-adoption", Severity.ERROR,
+         "A view adopted into a page group escapes through a second "
+         "handle (stored, appended or returned) that outlives the "
+         "group's reclaim; the refcount protocol is bypassed", "§4.3"),
+    Rule("DECA305", "remap-invalidates-export", Severity.ERROR,
+         "A grow/remap path replaces the backing mapping in place "
+         "(resize / unguarded close) instead of retiring the old one; "
+         "every exported view silently dangles", "§4.1"),
+    Rule("DECA306", "leak-at-finish", Severity.WARNING,
+         "A teardown path can return early without the release/drop "
+         "calls its sibling paths perform; borrows and extents leak "
+         "past the lifetime boundary", "§4.3"),
+    Rule("DECA307", "cross-process-cold-alias", Severity.ERROR,
+         "A cache entry's payload is read without consulting its cold "
+         "flag; a demoted entry's shared bytes are stale and the "
+         "authoritative copy lives in the mmap tier", "§4.2"),
+    Rule("DECA308", "unreleased-drain-copy", Severity.WARNING,
+         "A page-group drain's transient copies are never shrunk or "
+         "freed after the drain; the double-buffer footprint outlives "
+         "the swap it paid for", "§4.3"),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in RULES}

@@ -23,9 +23,12 @@ arrays instead of a million records.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from ..errors import PageError, PageOverflowError, PageReclaimedError
+
+if TYPE_CHECKING:
+    from .provenance import ProvenanceLedger
 from ..jvm.heap import SimHeap
 from ..jvm.objects import AllocationGroup, Lifetime
 from ..jvm.sizing import array_bytes
@@ -131,6 +134,10 @@ class PageGroup:
         # memory arena tracks in-build page groups through this hook.
         self.on_resize = on_resize
         self._alloc_group: AllocationGroup | None = None
+        # Sanitize mode: the cache / shm layer points this at the
+        # executor's ProvenanceLedger once the group adopts zero-copy
+        # buffers, so reclamation and drains are checked (None = no-op).
+        self.ledger: ProvenanceLedger | None = None
         if heap is not None:
             self._alloc_group = heap.new_group(
                 f"pages:{name}", Lifetime.PINNED)
@@ -241,6 +248,8 @@ class PageGroup:
         """
         self._check_alive()
         for page in list(self.pages):
+            if self.ledger is not None:
+                self.ledger.note_drain_copy(self.name, page.used)
             yield bytes(memoryview(page.data)[:page.used])
             # The caller holds (and has accounted) the copy; the source
             # page's heap charge can go.
@@ -342,9 +351,26 @@ class PageGroup:
         self.reclaimed = True
         if self.heap is not None and self._alloc_group is not None:
             self.heap.free_group(self._alloc_group)
-        self.pages.clear()
+        # The callback runs while ``pages`` is still populated so a
+        # detach hook (repro.exec.shm) can release the page buffers it
+        # mounted before the list is dropped.
         if self._on_reclaim is not None:
             self._on_reclaim(self)
+        # Adopted zero-copy buffers (tier extents, shm segments) must not
+        # outlive the group: release them so a straggling reader fails
+        # loudly with ValueError instead of silently reading whatever the
+        # backing bytes hold next.  A sub-view export keeps the buffer
+        # alive (release raises BufferError) — that escape is what the
+        # sanitizer reports at finish.
+        for page in self.pages:
+            if isinstance(page.data, memoryview):
+                try:
+                    page.data.release()
+                except BufferError:
+                    pass
+        self.pages.clear()
+        if self.ledger is not None:
+            self.ledger.note_reclaim(self.name)
 
     def _check_alive(self) -> None:
         if self.reclaimed:

@@ -36,9 +36,10 @@ import os
 import tempfile
 import weakref
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Any, Iterable
 
 from ..errors import PageError
+from .provenance import ProvenanceLedger, poison_fill
 
 #: Tier files are named ``repro-tier-<pid>-<seq>[-<tag>].bin`` in the
 #: temp dir; scripts/check_mp_leaks.py flags files whose pid is dead.
@@ -126,12 +127,16 @@ class PageStoreTier:
     event (see docs/memory_model.md).
     """
 
-    def __init__(self, path: str | None = None, *, tracer=None,
-                 clock=None, pid: int = 0, tag: str = "") -> None:
+    def __init__(self, path: str | None = None, *, tracer: Any = None,
+                 clock: Any = None, pid: int = 0, tag: str = "",
+                 ledger: ProvenanceLedger | None = None) -> None:
         self.path = path if path is not None else default_tier_path(tag)
         self.tracer = tracer
         self.clock = clock
         self.pid = pid
+        # Sanitize mode: every exported view is recorded as a borrow and
+        # checked when its extent is freed / remapped (None = no-op).
+        self.ledger = ledger
         self._creator_pid = os.getpid()
         self._closed = False
         try:
@@ -153,6 +158,10 @@ class PageStoreTier:
         # of the file that no live extent reserves.
         self._free: list[list[int]] = []
         self._extents: dict[str, TierExtent] = {}
+        # Names of extents dropped at least once (sanitize mode only) so
+        # a re-drop after the idempotent pop can be told apart from a
+        # drop of a name that never existed.
+        self._dropped: set[str] = set()
         self.stats = TierStats()
         if leftover:
             self.stats.truncated_bytes = leftover
@@ -183,7 +192,7 @@ class PageStoreTier:
         except KeyError:
             raise PageError(f"no tier extent {name!r}") from None
 
-    def _emit(self, event: str, **args) -> None:
+    def _emit(self, event: str, **args: Any) -> None:
         if self.tracer is None:
             return
         ts = self.clock.now_ms if self.clock is not None else 0.0
@@ -223,6 +232,11 @@ class PageStoreTier:
                 # Promoted views still reference the old mapping; it is
                 # released when the last of them is dropped.
                 self._retired.append(old)
+        if self.ledger is not None:
+            # The old mapping was retired, not resized in place, so every
+            # exported view stays valid — the safe remap protocol.
+            self.ledger.note_remap("extent", sorted(self._extents),
+                                   retired=True)
         self._release(self._size, new_size - self._size)
         self._size = new_size
         self.stats.file_bytes = new_size
@@ -264,6 +278,8 @@ class PageStoreTier:
             mm[pos:pos + n] = chunk
             pos += n
         self._extents[name] = TierExtent(offset, length, sizes)
+        if self.ledger is not None:
+            self.ledger.note_alloc("extent", name)
         self.stats.swap_out_count += 1
         self.stats.bytes_moved_out += total
         self.stats.extents_live = len(self._extents)
@@ -285,6 +301,9 @@ class PageStoreTier:
         for n in extent.chunks:
             out.append(base[pos:pos + n])
             pos += n
+        if self.ledger is not None:
+            for view in out:
+                self.ledger.borrow("extent", name, view=view)
         return out
 
     def swap_in(self, name: str) -> list[memoryview]:
@@ -303,7 +322,18 @@ class PageStoreTier:
         """Release extent *name* (idempotent); returns its used bytes."""
         extent = self._extents.pop(name, None)
         if extent is None:
+            if self.ledger is not None and name in self._dropped:
+                # Second drop of an extent we saw die: double-free.
+                self.ledger.note_free("extent", name)
             return 0
+        if self.ledger is not None:
+            self._dropped.add(name)
+            self.ledger.note_free("extent", name)
+            if self._mm is not None:
+                # Sentinel-fill the freed bytes so any alias that slipped
+                # past the borrow check reads poison, not stale data.
+                self.ledger.note_poison("extent", name, poison_fill(
+                    self._mm, extent.offset, extent.length))
         self._release(extent.offset, extent.length)
         self.stats.drop_count += 1
         self.stats.extents_live = len(self._extents)

@@ -257,6 +257,7 @@ class CacheStore:
         block._swap_released_bytes = released
         tier_moved = 0
         copy_group: AllocationGroup | None = None
+        drained_group: str | None = None
         if block.strategy is StorageStrategy.OBJECTS:
             # Spark serializes object blocks before writing them out.
             executor.serializer.kryo_serialize(
@@ -273,6 +274,14 @@ class CacheStore:
                     tier_moved = tier.swap_out(block._tier_key,
                                                [block.blob])
                 block._tier_resident = False
+                # A promoted blob is a view of the extent; it is
+                # superseded now, so detach it — a straggling reader
+                # must fail loudly, not see the extent's next tenant.
+                if isinstance(block.blob, memoryview):
+                    try:
+                        block.blob.release()
+                    except BufferError:
+                        pass  # a sub-view reader is still mid-scan
                 block.blob = None
             else:
                 # Schema-less blocks keep their record list instead of a
@@ -306,6 +315,9 @@ class CacheStore:
                 # (unaccounted, ~2x peak) before reclaim.
                 copy_group = executor.heap.new_group(
                     f"swap-copy:{key}", Lifetime.PINNED)
+                if executor.ledger is not None:
+                    group.ledger = executor.ledger
+                    drained_group = group.name
                 chunks: list[bytes] = []
                 for chunk in group.drain():
                     executor.serializer.note_swap_copy(len(chunk))
@@ -327,6 +339,9 @@ class CacheStore:
         if copy_group is not None and not copy_group.freed:
             # The copies reached the disk with the write above.
             executor.heap.free_group(copy_group)
+        if drained_group is not None and executor.ledger is not None:
+            # The transient drain copies were consumed by the write.
+            executor.ledger.release_drain(drained_group)
         if block.alloc_group is not None and not block.alloc_group.freed:
             executor.heap.free_group(block.alloc_group)
             block.alloc_group = None
@@ -346,6 +361,8 @@ class CacheStore:
                              + executor.heap.old_used_bytes))
         if tier is not None:
             swap_args["tier_bytes"] = tier_moved
+            if executor.ledger is not None and block._tier_key is not None:
+                executor.ledger.note_demote("extent", block._tier_key)
             if executor.on_demote is not None:
                 # Tell the execution backend: mp workers must not keep
                 # resolving this block's shared-memory copy as hot.
@@ -393,6 +410,9 @@ class CacheStore:
                 block.blob = blob
                 block.memory_bytes = len(blob)
                 block._tier_resident = True
+                if executor.ledger is not None:
+                    # The promoted view outlives this call on purpose.
+                    executor.ledger.retain("extent", block._tier_key)
             else:
                 payload = block._disk_payload
                 if isinstance(payload, (bytes, bytearray, memoryview)):
@@ -418,6 +438,12 @@ class CacheStore:
                 for view in tier.swap_in(block._tier_key):
                     group.adopt_page(view)
                 block._tier_resident = True
+                if executor.ledger is not None:
+                    # Adoption hands ownership to the page group; the
+                    # ledger tracks the borrows until group.reclaim().
+                    executor.ledger.retain(
+                        "extent", block._tier_key, group=group.name)
+                    group.ledger = executor.ledger
             else:
                 for chunk in block._disk_payload:
                     executor.serializer.note_swap_copy(len(chunk))
@@ -500,7 +526,14 @@ class CacheStore:
                 and not block.page_group.reclaimed:
             block.page_group.reclaim()
         # Release every payload reference: a dropped-while-swapped block
-        # must not keep its parked records/bytes reachable.
+        # must not keep its parked records/bytes reachable.  A promoted
+        # blob aliases its extent — detach it before the extent is
+        # dropped below so stale readers fail loudly.
+        if isinstance(block.blob, memoryview):
+            try:
+                block.blob.release()
+            except BufferError:
+                pass  # a sub-view reader is still mid-scan
         block.page_group = None
         block.records = None
         block.blob = None

@@ -22,9 +22,10 @@ import zlib
 from typing import Any, Callable, Iterable, Iterator
 
 from ..config import DecaConfig, ExecutionMode
-from ..errors import ExecutionError
+from ..errors import ExecutionError, SanitizerError
 from ..exec import create_backend
 from ..jvm.objects import Lifetime
+from ..memory.provenance import VIOLATION_SLUGS, ProvenanceLedger
 from ..obs import Tracer
 from .cache import CachedBlock, StorageStrategy
 from .measure import ZERO_FOOTPRINT
@@ -96,6 +97,12 @@ class DecaContext:
         self.scheduler = DAGScheduler(self)
         # Retry policy for nondeterministic UDFs (docs/closure_analysis.md).
         self.closure_guard = ClosureGuard(self)
+        # Driver-side alias sanitizer: audits shm segment ownership (the
+        # mp backend's registry); executors carry their own ledgers for
+        # mmap extents.  None unless config.sanitize — zero overhead off.
+        self.ledger: ProvenanceLedger | None = None
+        if self.config.sanitize:
+            self.ledger = ProvenanceLedger(tracer=self.tracer)
         # How stages execute: the sim backend declines every stage (the
         # scheduler's in-process loop runs); the mp backend runs them on
         # forked workers with shared-memory pages (repro.exec).
@@ -374,4 +381,19 @@ class DecaContext:
                 if nbytes:
                     run.cached_bytes[rdd.name] = \
                         run.cached_bytes.get(rdd.name, 0) + nbytes
+        if self.config.sanitize:
+            # Fold every ledger's end-of-run audit into one summary; any
+            # violation anywhere fails the run loudly — a silently wrong
+            # result is the failure mode the sanitizer exists to prevent.
+            ledgers = [e.ledger for e in self.executors
+                       if e.ledger is not None]
+            if self.ledger is not None:
+                ledgers.append(self.ledger)
+            for ledger in ledgers:
+                for name, count in ledger.check_finish().items():
+                    run.sanitize[name] = run.sanitize.get(name, 0) + count
+            if run.sanitize.get("violations", 0):
+                raise SanitizerError({
+                    slug: run.sanitize.get(slug, 0)
+                    for slug in VIOLATION_SLUGS})
         return run

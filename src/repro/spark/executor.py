@@ -17,6 +17,7 @@ from ..jvm.heap import SimHeap
 from ..jvm.objects import AllocationGroup, Lifetime
 from ..jvm.stats import GcEvent
 from ..memory.manager import DecaMemoryManager
+from ..memory.provenance import ProvenanceLedger
 from ..memory.tier import PageStoreTier
 from ..memory.unified import UnifiedMemoryManager, create_memory_arena
 from ..obs import Tracer
@@ -60,6 +61,13 @@ class Executor:
         self.serializer = SerializerModel(
             config.serializer, self.clock,
             parallelism=config.tasks_per_executor)
+        # Runtime alias sanitizer: one provenance ledger per executor
+        # records every exported zero-copy view (None when off, so the
+        # hot paths pay a single ``is None`` test).
+        self.ledger: ProvenanceLedger | None = None
+        if config.sanitize:
+            self.ledger = ProvenanceLedger(
+                tracer=self.tracer, clock=self.clock, pid=self.trace_pid)
         self.cache = CacheStore(self)
         self.serializer.on_charge = self._attribute_serializer_time
         self.shuffle_store = shuffle_store
@@ -243,7 +251,7 @@ class Executor:
         if self._cold_tier is None:
             self._cold_tier = PageStoreTier(
                 tracer=self.tracer, clock=self.clock, pid=self.trace_pid,
-                tag=f"e{self.executor_id}")
+                tag=f"e{self.executor_id}", ledger=self.ledger)
         return self._cold_tier
 
     def charge_network(self, nbytes: int) -> None:

@@ -162,6 +162,9 @@ class RunMetrics:
     # mmap cold-tier accounting (repro.memory.tier.TierStats, summed
     # across executors); empty under cold_tier="heap".
     tier: dict[str, "int | str"] = field(default_factory=dict)
+    # Runtime alias-sanitizer counters (repro.memory.provenance), summed
+    # across executor ledgers at finish(); empty unless config.sanitize.
+    sanitize: dict[str, int] = field(default_factory=dict)
 
     @property
     def gc_pause_ms(self) -> float:
@@ -195,7 +198,7 @@ class RunMetrics:
         RNGs, so two runs with identical seeds serialize byte-identically
         — the property the determinism CI job asserts.
         """
-        return {
+        out: dict = {
             "wall_ms": round(self.wall_ms, 6),
             "gc_pause_ms": round(self.gc_pause_ms, 6),
             "minor_gc_count": self.minor_gc_count,
@@ -239,3 +242,8 @@ class RunMetrics:
                 for job in self.jobs
             ],
         }
+        if self.sanitize:
+            # Only present when the sanitizer ran: keeps baselines for
+            # plain runs byte-identical (determinism CI).
+            out["sanitize"] = dict(sorted(self.sanitize.items()))
+        return out
