@@ -13,6 +13,7 @@ from repro.apps.sql_queries import (
     run_query1_sparksql,
     run_query2,
     run_query2_sparksql,
+    run_sql_suite,
 )
 from repro.bench.report import format_table, write_result
 
@@ -43,6 +44,10 @@ def test_table6_sql(once):
             rankings, _config(ExecutionMode.SPARK))
         out[("Query2", "spark-sql")] = run_query2_sparksql(
             visits, _config(ExecutionMode.SPARK))
+        suite = run_sql_suite(rankings, visits,
+                              _config(ExecutionMode.SPARK))
+        for name, result in suite.items():
+            out[(f"Suite:{name}", "spark-sql")] = result
         return out
 
     out = once(scenario)
@@ -83,3 +88,8 @@ def test_table6_sql(once):
     assert q2["spark-sql"][1] < 0.3 * q2["spark"][1]
     # And their caches are severalfold smaller.
     assert q2["spark"][2] > 1.5 * q2["deca"][2]
+
+    # The TPC-H-flavoured suite runs on one shared engine: the scan
+    # keeps every row, top-k keeps exactly k.
+    assert len(out[("Suite:scan", "spark-sql")].rows) == RANKINGS_ROWS
+    assert len(out[("Suite:topk", "spark-sql")].rows) == 10

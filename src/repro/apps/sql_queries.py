@@ -21,7 +21,8 @@ from __future__ import annotations
 from ..config import DecaConfig
 from ..data.tables import RankingRow, UserVisitRow
 from ..spark.rdd import UdtInfo
-from ..sql import SqlEngine, groupby_sum, select
+from ..sql import SqlEngine, groupby_sum, select, top_k
+from ..sql.engine import Query, QueryResult
 from ..sql.schema import RANKINGS_SCHEMA, USERVISITS_SCHEMA
 from .common import AppRun, make_context
 from .udts import make_ranking_model, make_uservisit_model
@@ -31,7 +32,7 @@ def _chars(s: str) -> tuple:
     return (tuple(ord(c) for c in s),)
 
 
-def _string(v) -> str:
+def _string(v: tuple) -> str:
     return "".join(chr(c) for c in v[0])
 
 
@@ -99,21 +100,69 @@ def run_query2(uservisits: list[UserVisitRow],
 
 def run_query1_sparksql(rankings: list[RankingRow],
                         config: DecaConfig | None = None,
-                        threshold: int = 100):
+                        threshold: int = 100) -> QueryResult:
     """Query 1 on the columnar engine; returns its QueryResult."""
-    engine = SqlEngine(config)
-    engine.register_table("rankings", RANKINGS_SCHEMA, rankings)
-    engine.cache_table("rankings")
-    return engine.run(select(["pageURL", "pageRank"], "rankings",
-                             where=("pageRank", ">", threshold)))
+    with SqlEngine(config) as engine:
+        engine.register_table("rankings", RANKINGS_SCHEMA, rankings)
+        engine.cache_table("rankings")
+        return engine.run(select(["pageURL", "pageRank"], "rankings",
+                                 where=("pageRank", ">", threshold)))
 
 
 def run_query2_sparksql(uservisits: list[UserVisitRow],
                         config: DecaConfig | None = None,
-                        prefix: int = 5):
+                        prefix: int = 5) -> QueryResult:
     """Query 2 on the columnar engine; returns its QueryResult."""
+    with SqlEngine(config) as engine:
+        engine.register_table("uservisits", USERVISITS_SCHEMA,
+                              uservisits)
+        engine.cache_table("uservisits")
+        return engine.run(groupby_sum("uservisits", "sourceIP",
+                                      "adRevenue", key_prefix=prefix))
+
+
+def suite_queries(threshold: int = 100, prefix: int = 5,
+                  k: int = 10) -> list[tuple[str, Query]]:
+    """A small TPC-H-flavoured suite over the §6.6 tables.
+
+    Four shapes the columnar kernels must cover: a full-projection
+    scan, a selective filter (Query 1), a GroupBy-SUM (Query 2), and a
+    top-k (filter + sort + limit).
+    """
+    return [
+        ("scan", select(["pageURL", "pageRank", "avgDuration"],
+                        "rankings")),
+        ("filter", select(["pageURL", "pageRank"], "rankings",
+                          where=("pageRank", ">", threshold))),
+        ("groupby", groupby_sum("uservisits", "sourceIP", "adRevenue",
+                                key_prefix=prefix)),
+        ("topk", top_k(["pageURL", "pageRank"], "rankings",
+                       order_by="pageRank", k=k,
+                       where=("avgDuration", ">", 10))),
+    ]
+
+
+def make_suite_engine(rankings: list[RankingRow],
+                      uservisits: list[UserVisitRow],
+                      config: DecaConfig | None = None,
+                      layout: str = "auto") -> SqlEngine:
+    """An engine with both §6.6 tables registered and cached."""
     engine = SqlEngine(config)
+    engine.register_table("rankings", RANKINGS_SCHEMA, rankings)
     engine.register_table("uservisits", USERVISITS_SCHEMA, uservisits)
-    engine.cache_table("uservisits")
-    return engine.run(groupby_sum("uservisits", "sourceIP", "adRevenue",
-                                  key_prefix=prefix))
+    engine.cache_table("rankings", layout=layout)
+    engine.cache_table("uservisits", layout=layout)
+    return engine
+
+
+def run_sql_suite(rankings: list[RankingRow],
+                  uservisits: list[UserVisitRow],
+                  config: DecaConfig | None = None,
+                  layout: str = "auto",
+                  threshold: int = 100, prefix: int = 5,
+                  k: int = 10) -> dict[str, QueryResult]:
+    """Run the whole suite on one engine; maps query name -> result."""
+    with make_suite_engine(rankings, uservisits, config,
+                           layout=layout) as engine:
+        return {name: engine.run(query)
+                for name, query in suite_queries(threshold, prefix, k)}

@@ -31,6 +31,7 @@ from .harness import (
     GRAPH_SCALES,
     LR_SIZES,
     MEMORY_WORKLOADS,
+    SQL_LAYOUTS,
     WC_SIZES,
     fault_recovery_faults,
     run_fault_recovery_point,
@@ -38,6 +39,8 @@ from .harness import (
     run_kmeans_point,
     run_lr_point,
     run_memory_point,
+    run_sql_point,
+    run_sql_swap_roundtrip,
     run_tier_point,
     run_trace_point,
     run_wc_point,
@@ -195,6 +198,29 @@ def main(argv: list[str] | None = None) -> int:
                            "zero swap-copy bytes where heap charged "
                            "some")
 
+    sq = sub.add_parser(
+        "sql",
+        help="row vs columnar SQL-layout ablation "
+             "(docs/sql_engine.md): identical digests, faster columnar "
+             "kernels, zero-copy mmap swap roundtrip")
+    sq.add_argument("--layouts", nargs="*", metavar="L",
+                    default=list(SQL_LAYOUTS), choices=list(SQL_LAYOUTS),
+                    help="cache layouts to compare (default: both)")
+    sq.add_argument("--rankings", type=int, default=4_000,
+                    help="rankings rows (default: 4000)")
+    sq.add_argument("--uservisits", type=int, default=8_000,
+                    help="uservisits rows (default: 8000)")
+    sq.add_argument("--no-swap", action="store_true",
+                    help="skip the mmap swap-roundtrip leg")
+    sq.add_argument("--json", metavar="NAME",
+                    help="also write benchmarks/results/<NAME>.json")
+    sq.add_argument("--check", action="store_true",
+                    help="exit 1 unless both layouts produced identical "
+                         "query digests, the columnar kernels were "
+                         "faster, and the swap roundtrip moved raw "
+                         "bytes with zero serializer copies and a "
+                         "clean ledger")
+
     be = sub.add_parser(
         "backend",
         help="sim vs mp execution-backend ablation "
@@ -247,6 +273,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_memory(args)
     if args.app == "tier":
         return _run_tier(args)
+    if args.app == "sql":
+        return _run_sql(args)
     if args.app == "backend":
         return _run_backend(args)
     modes = _modes(args.modes)
@@ -651,6 +679,100 @@ def _run_tier(args) -> int:
             "mode": mode.value,
             "cells": cells,
             "equivalent": len(set(digests.values())) <= 1,
+        })
+        print(f"wrote {path}")
+    return status if args.check else 0
+
+
+def _run_sql(args) -> int:
+    """The ``sql`` subcommand: the row-vs-columnar layout ablation.
+
+    Runs the TPC-H-flavoured suite once per cache layout and compares
+    per-query result digests (must be identical — layout changes byte
+    arrangement, not answers) and simulated wall times (columnar
+    kernels touch one column run per value, row kernels reconstruct
+    the record).  Unless ``--no-swap``, a third leg demotes the
+    columnar cache to the mmap tier and re-runs every query from
+    promoted pages: digests must still match, with zero serializer
+    bytes and a clean provenance ledger.
+    """
+    cells = {layout: run_sql_point(layout, args.rankings,
+                                   args.uservisits)
+             for layout in args.layouts}
+
+    names = sorted(next(iter(cells.values()))["digests"])
+    header = (f"{'layout':<9} " + "".join(f"{name + '(ms)':>12}"
+                                          for name in names)
+              + f" {'cached(B)':>10}  digests")
+    print(f"repro.bench sql · rankings={args.rankings} "
+          f"uservisits={args.uservisits}")
+    print(header)
+    print("-" * len(header))
+    for layout, cell in cells.items():
+        walls = "".join(f"{cell['wall_ms'][name]:>12.4f}"
+                        for name in names)
+        joined = ",".join(cell["digests"][name][:8] for name in names)
+        print(f"{layout:<9} {walls} {cell['cached_bytes']:>10}  "
+              f"{joined}")
+
+    status = 0
+    if len(cells) > 1:
+        mismatched = [name for name in names
+                      if len({cell["digests"][name]
+                              for cell in cells.values()}) > 1]
+        if mismatched:
+            print(f"MISMATCH: layouts disagree on {mismatched}",
+                  file=sys.stderr)
+            status = 1
+        else:
+            print(f"equivalence: digests identical across "
+                  f"{sorted(cells)}")
+
+    if args.check and {"row", "columnar"} <= cells.keys():
+        slower = [name for name in ("scan", "filter", "groupby")
+                  if cells["columnar"]["wall_ms"][name]
+                  >= cells["row"]["wall_ms"][name]]
+        if slower:
+            print(f"sql check: columnar kernels not faster on "
+                  f"{slower}", file=sys.stderr)
+            status = 1
+
+    swap = None
+    if not args.no_swap:
+        swap = run_sql_swap_roundtrip(args.rankings, args.uservisits)
+        print(f"swap roundtrip: moved_out={swap['bytes_moved_out']} "
+              f"moved_in={swap['bytes_moved_in']} "
+              f"serializer_copies={swap['swap_copy_bytes']} "
+              f"ledger_violations={swap['ledger_violations']} "
+              f"digests_match={swap['digests_match']}")
+        if args.check:
+            if not swap["digests_match"]:
+                print("sql check: swap roundtrip changed query results",
+                      file=sys.stderr)
+                status = 1
+            if swap["bytes_moved_out"] <= 0:
+                print("sql check: demotion moved no bytes",
+                      file=sys.stderr)
+                status = 1
+            if swap["swap_copy_bytes"] != 0:
+                print(f"sql check: swap roundtrip charged "
+                      f"{swap['swap_copy_bytes']} serializer bytes "
+                      f"(must be zero on the mmap tier)",
+                      file=sys.stderr)
+                status = 1
+            if swap["ledger_violations"] != 0:
+                print(f"sql check: provenance ledger recorded "
+                      f"{swap['ledger_violations']} violation(s)",
+                      file=sys.stderr)
+                status = 1
+
+    if args.json:
+        path = write_json_result(args.json, {
+            "rankings_rows": args.rankings,
+            "uservisits_rows": args.uservisits,
+            "cells": cells,
+            "swap_roundtrip": swap,
+            "ok": status == 0,
         })
         print(f"wrote {path}")
     return status if args.check else 0

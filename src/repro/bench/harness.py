@@ -481,6 +481,101 @@ def run_tier_ablation(label: str = "200GB",
 
 
 # ---------------------------------------------------------------------------
+# SQL layout points (row vs columnar ablation, docs/sql_engine.md)
+# ---------------------------------------------------------------------------
+
+SQL_LAYOUTS = ("row", "columnar")
+
+
+def run_sql_point(layout: str, rankings_rows: int = 4_000,
+                  uservisits_rows: int = 8_000,
+                  **config_overrides: Any) -> dict[str, Any]:
+    """The TPC-H-flavoured suite under one cache layout.
+
+    Runs every suite query on one engine whose relations were cached
+    with *layout* and reports per-query result digests and simulated
+    wall times.  The layouts must agree on every digest — the layout
+    changes how cached bytes are arranged, never what the kernels
+    compute.
+    """
+    if layout not in SQL_LAYOUTS:
+        raise ValueError(f"unknown SQL layout {layout!r}; "
+                         f"choose from {SQL_LAYOUTS}")
+    from ..apps.sql_queries import make_suite_engine, suite_queries
+    from ..data import rankings_table, uservisits_table
+
+    config = DecaConfig(**config_overrides)
+    digests: dict[str, str] = {}
+    walls: dict[str, float] = {}
+    with make_suite_engine(rankings_table(rankings_rows),
+                           uservisits_table(uservisits_rows),
+                           config, layout=layout) as engine:
+        cached_bytes = engine.cached_bytes
+        layouts = {name: engine.layout_of(name)
+                   for name in ("rankings", "uservisits")}
+        for name, query in suite_queries():
+            result = engine.run(query)
+            digests[name] = result_digest(result.rows)
+            walls[name] = result.wall_ms
+    return {
+        "layout": layout,
+        "relation_layouts": layouts,
+        "cached_bytes": cached_bytes,
+        "digests": digests,
+        "wall_ms": {name: round(ms, 6) for name, ms in walls.items()},
+        "total_wall_ms": round(sum(walls.values()), 6),
+    }
+
+
+def run_sql_swap_roundtrip(rankings_rows: int = 4_000,
+                           uservisits_rows: int = 8_000,
+                           **config_overrides: Any) -> dict[str, Any]:
+    """Demote the cached columnar suite to the mmap tier and re-run.
+
+    The cached relations swap out as raw page bytes, swap back in as
+    adopted pages, and every query must reproduce its resident digest —
+    with ``swap_copy_bytes == 0`` (no serializer pass anywhere) and the
+    provenance ledger clean.
+    """
+    from ..apps.sql_queries import make_suite_engine, suite_queries
+    from ..data import rankings_table, uservisits_table
+
+    overrides = dict(config_overrides)
+    overrides["cold_tier"] = "mmap"
+    overrides.setdefault("sanitize", True)
+    config = DecaConfig(**overrides)
+    engine = make_suite_engine(rankings_table(rankings_rows),
+                               uservisits_table(uservisits_rows),
+                               config, layout="columnar")
+    try:
+        queries = suite_queries()
+        resident = {name: result_digest(engine.run(query).rows)
+                    for name, query in queries}
+        moved_out = (engine.demote_table("rankings")
+                     + engine.demote_table("uservisits"))
+        # run() promotes each relation back from the tier on demand.
+        promoted = {name: result_digest(engine.run(query).rows)
+                    for name, query in queries}
+        tier_stats = dict(engine.tier_stats or {})
+        swap_copy_bytes = engine.swap_copy_bytes
+    finally:
+        engine.close()
+    violations = 0
+    if engine.ledger is not None:
+        violations = int(engine.ledger.check_finish()["violations"])
+    return {
+        "resident_digests": resident,
+        "promoted_digests": promoted,
+        "digests_match": resident == promoted,
+        "bytes_moved_out": moved_out,
+        "bytes_moved_in": tier_stats.get("bytes_moved_in", 0),
+        "swap_copy_bytes": swap_copy_bytes,
+        "ledger_violations": violations,
+        "tier": tier_stats,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Fault-recovery points (fault-tolerance benchmark)
 # ---------------------------------------------------------------------------
 

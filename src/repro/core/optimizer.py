@@ -30,7 +30,7 @@ from ..analysis.size_type import SizeType
 from ..analysis.symconst import Affine
 from ..analysis.udt import ClassType, PrimitiveType
 from ..errors import MemoryLayoutError
-from ..memory.layout import build_schema
+from ..memory.layout import build_schema, columnar_plan
 from ..spark.cache import StorageStrategy
 from ..spark.shuffle import ShuffleKind, ShufflePlan
 
@@ -38,6 +38,7 @@ if TYPE_CHECKING:
     from ..analysis.closures import ClosureReport
     from ..spark.context import CachePlan as CachePlanT, DecaContext
     from ..spark.rdd import RDD, ShuffleDependency, UdtInfo
+    from ..sql.schema import TableSchema
 
 
 @dataclass(frozen=True)
@@ -311,3 +312,53 @@ class DecaOptimizer:
                     is not SizeType.STATIC_FIXED:
                 return False
         return True
+
+
+# -- SQL cache layout --------------------------------------------------------
+@dataclass(frozen=True)
+class SqlLayoutPlan:
+    """The optimizer's row-vs-columnar decision for one cached relation."""
+
+    table: str
+    layout: str  # "columnar" | "row"
+    size_type: SizeType | None
+    reason: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "table": self.table,
+            "layout": self.layout,
+            "size_type": self.size_type.value if self.size_type else None,
+            "reason": self.reason,
+        }
+
+
+def plan_sql_layout(schema: "TableSchema") -> SqlLayoutPlan:
+    """Decide the cache layout for a SQL relation.
+
+    Column-major needs a fixed-schema (UDT-F) relation: the synthesized
+    UDT must classify decomposable (Algorithm 1 over one field per
+    column) and every field must have a per-column layout
+    (:func:`~repro.memory.layout.columnar_plan`).  Opaque payload
+    columns fail that — their element type-sets are polymorphic — so
+    those relations fall back to the row-major record layout.
+    """
+    from ..sql.schema import table_udt
+
+    udt = table_udt(schema)
+    size_type = classify_locally(udt)
+    if not size_type.decomposable:
+        return SqlLayoutPlan(
+            table=schema.name, layout="row", size_type=size_type,
+            reason=f"{udt.name} classifies {size_type.value}; "
+                   "caching row-major")
+    try:
+        record = build_schema(udt, size_type)
+        columnar_plan(record)
+    except MemoryLayoutError as exc:
+        return SqlLayoutPlan(
+            table=schema.name, layout="row", size_type=size_type,
+            reason=f"no column-major layout: {exc}")
+    return SqlLayoutPlan(
+        table=schema.name, layout="columnar", size_type=size_type,
+        reason="fixed-schema relation; one page run per column")

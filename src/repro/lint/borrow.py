@@ -67,6 +67,7 @@ ENGINE_MODULES: tuple[tuple[str, str], ...] = (
     ("repro.memory.tier", "memory/tier.py"),
     ("repro.memory.page", "memory/page.py"),
     ("repro.spark.cache", "spark/cache.py"),
+    ("repro.sql.columnar", "sql/columnar.py"),
     ("repro.exec.shm", "exec/shm.py"),
     ("repro.exec.mp", "exec/mp.py"),
 )

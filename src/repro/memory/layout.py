@@ -408,6 +408,161 @@ def _sole_runtime_type(owner: ClassType, field) -> DataType:
     return type_set[0]
 
 
+# -- column-major emission (structure-of-arrays) ----------------------------
+# The decomposition layer above lays one *record* out contiguously
+# (row-major).  The column-major mode emits one contiguous run per *field*
+# instead — the shared columnar organization of Sparkle (PAPERS.md) fused
+# with Deca's lifetime-grouped pages: each run lives in its own page of a
+# page group, and reads go through typed zero-copy views
+# (``memoryview.cast``) rather than per-record ``struct`` unpacking.
+
+
+class FixedColumnLayout:
+    """A fixed-width column: values packed as one contiguous run."""
+
+    __slots__ = ("code", "item_size")
+
+    def __init__(self, code: str) -> None:
+        if code not in _STRUCT_CODES.values():
+            raise MemoryLayoutError(
+                f"no fixed-width column layout for struct code {code!r}")
+        self.code = code
+        self.item_size = struct.calcsize("<" + code)
+
+    def emit(self, values: Sequence[Any]) -> bytes:
+        """Pack *values* into one run of ``len(values)`` items."""
+        return struct.pack(f"<{len(values)}{self.code}", *values)
+
+    def view(self, buffer: bytearray | memoryview, offset: int,
+             length: int) -> memoryview:
+        """Typed zero-copy view over the run's bytes.
+
+        Indexing the result yields Python scalars directly — no
+        per-element ``struct`` round-trip, no intermediate copy.
+        """
+        if length % self.item_size:
+            raise MemoryLayoutError(
+                f"run of {length} B is not a whole number of "
+                f"{self.code!r} items")
+        return memoryview(buffer)[offset:offset + length].cast(self.code)
+
+    def __repr__(self) -> str:
+        return f"FixedColumnLayout({self.code!r})"
+
+
+class StringColumnLayout:
+    """A var-width string column: a ``uint32`` offsets run + a UTF-8 blob
+    run.
+
+    ``offsets`` has ``count + 1`` entries; string *i* occupies blob bytes
+    ``[offsets[i], offsets[i+1])``.  Prefix reads (``SUBSTR(col, 1, n)``)
+    slice the blob without decoding the whole string.
+    """
+
+    __slots__ = ()
+
+    offset_code = "I"
+    offset_size = _LENGTH_PREFIX.size
+
+    def emit(self, values: Sequence[str]) -> tuple[bytes, bytes]:
+        """Pack *values* into ``(offsets_run, blob_run)``."""
+        blob = bytearray()
+        offsets = [0]
+        for value in values:
+            blob.extend(value.encode("utf-8"))
+            offsets.append(len(blob))
+        packed = struct.pack(f"<{len(offsets)}{self.offset_code}", *offsets)
+        return packed, bytes(blob)
+
+    def view(self, offsets_buffer: bytearray | memoryview,
+             offsets_offset: int, offsets_length: int,
+             blob_buffer: bytearray | memoryview,
+             blob_offset: int, blob_length: int) -> "StringRunView":
+        """Typed zero-copy reader over the column's two runs."""
+        if offsets_length % self.offset_size:
+            raise MemoryLayoutError(
+                f"offsets run of {offsets_length} B is not a whole "
+                "number of uint32 entries")
+        offsets = memoryview(offsets_buffer)[
+            offsets_offset:offsets_offset + offsets_length]
+        blob = memoryview(blob_buffer)[blob_offset:blob_offset + blob_length]
+        return StringRunView(offsets.cast(self.offset_code), blob)
+
+    def __repr__(self) -> str:
+        return "StringColumnLayout()"
+
+
+class StringRunView:
+    """Zero-copy accessor over a string column's offsets + blob views."""
+
+    __slots__ = ("offsets", "blob")
+
+    def __init__(self, offsets: memoryview, blob: memoryview) -> None:
+        self.offsets = offsets
+        self.blob = blob
+
+    @property
+    def count(self) -> int:
+        return len(self.offsets) - 1
+
+    def get(self, row: int) -> str:
+        start = self.offsets[row]
+        end = self.offsets[row + 1]
+        return bytes(self.blob[start:end]).decode("utf-8")
+
+    def get_prefix(self, row: int, length: int) -> str:
+        """``SUBSTR(col, 1, length)`` without decoding the whole string."""
+        start = self.offsets[row]
+        end = min(start + length, self.offsets[row + 1])
+        return bytes(self.blob[start:end]).decode("utf-8", errors="ignore")
+
+    def __iter__(self):
+        for row in range(self.count):
+            yield self.get(row)
+
+    def release(self) -> None:
+        """Release both backing views (before the pages are reclaimed)."""
+        try:
+            self.offsets.release()
+        except BufferError:
+            pass
+        try:
+            self.blob.release()
+        except BufferError:
+            pass
+
+
+ColumnLayout = FixedColumnLayout | StringColumnLayout
+
+
+def columnar_plan(schema: RecordSchema
+                  ) -> tuple[tuple[str, ColumnLayout], ...]:
+    """Per-field column layouts for a fixed-schema (UDT-F/RFST) record.
+
+    Primitive fields map to :class:`FixedColumnLayout`; char/byte array
+    fields (JVM strings) map to :class:`StringColumnLayout`.  Anything
+    else — nested records, polymorphic fields, arrays of non-character
+    elements — has no column-major form and raises
+    :class:`MemoryLayoutError`, which is the optimizer's signal to fall
+    back to the row-major layout above.
+    """
+    plan: list[tuple[str, ColumnLayout]] = []
+    for name, field_schema in schema.fields:
+        if isinstance(field_schema, PrimitiveSlot):
+            plan.append((name, FixedColumnLayout(
+                _STRUCT_CODES[field_schema.primitive.name])))
+        elif (isinstance(field_schema, VarArraySchema)
+              and isinstance(field_schema.element, PrimitiveSlot)
+              and field_schema.element.primitive.name in ("char", "byte")):
+            plan.append((name, StringColumnLayout()))
+        else:
+            raise MemoryLayoutError(
+                f"field {schema.name}.{name} has no column-major layout; "
+                "only primitives and char/byte arrays (strings) "
+                "decompose per column")
+    return tuple(plan)
+
+
 def reorder_fields_fixed_first(schema: RecordSchema) -> RecordSchema:
     """Appendix B's optimization: put fixed-size fields first.
 

@@ -190,6 +190,23 @@ class PageGroup:
         page.data[offset:offset + len(data)] = data
         return PagePointer(page.index, offset, len(data))
 
+    def append_run(self, data: bytes | bytearray | memoryview
+                   ) -> PagePointer:
+        """Copy *data* in as one dedicated, exactly-sized page.
+
+        The column-major emission mode (§4.3.1 applied per *field*): a
+        column's values form one contiguous run, so the run gets its own
+        page whose capacity equals its length — typed views
+        (``memoryview.cast``) over the run never have to stitch segments
+        together, and the heap sees exactly one byte array per column
+        run.
+        """
+        self._check_alive()
+        page = self._new_page(max(1, len(data)))
+        page.data[0:len(data)] = data
+        page.used = len(data)
+        return PagePointer(page.index, 0, len(data))
+
     def append_record(self, schema: Schema, value) -> PagePointer:
         """Pack *value* (per *schema*) directly into the page group."""
         size = schema.size_of(value)
@@ -256,6 +273,18 @@ class PageGroup:
             if self._alloc_group is not None and not self._alloc_group.freed:
                 self._alloc_group.shrink(array_bytes(1, page.capacity))
         self.reclaim()
+
+    def swap_chunks(self) -> list[memoryview]:
+        """The group's used bytes as per-page views, ready for a cold-tier
+        ``swap_out``.
+
+        The views alias the live page buffers — no copy happens here; the
+        mmap tier writes them straight into its extent file.  Callers must
+        reclaim the group (or otherwise stop mutating it) once the swap
+        completes.
+        """
+        self._check_alive()
+        return [memoryview(page.data)[:page.used] for page in self.pages]
 
     def trim(self) -> int:
         """Shrink the last page's byte array to its used size.

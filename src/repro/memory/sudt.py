@@ -24,6 +24,7 @@ from typing import Any, Callable, Iterator
 
 from ..errors import MemoryLayoutError, PageOverflowError
 from .layout import (
+    _STRUCT_CODES,
     FixedArraySchema,
     PrimitiveSlot,
     RecordSchema,
@@ -125,6 +126,22 @@ class ArrayView:
         """Materialize the elements as a tuple."""
         value, _ = self._schema.unpack_from(self._buf, self._off)
         return tuple(value)
+
+    def typed_view(self) -> memoryview:
+        """A typed zero-copy view over the elements (``memoryview.cast``).
+
+        Only primitive-element arrays have one; reads through it skip the
+        per-element ``struct`` round-trip entirely, which is what the
+        columnar SQL kernels scan.  The caller must release the view
+        before the backing page group is reclaimed.
+        """
+        if not isinstance(self._element, PrimitiveSlot):
+            raise MemoryLayoutError(
+                "typed views exist only for primitive-element arrays")
+        code = _STRUCT_CODES[self._element.primitive.name]
+        nbytes = self._length * self._element.fixed_size
+        raw = memoryview(self._buf)[self._data_off:self._data_off + nbytes]
+        return raw.cast(code)
 
     def replace(self, values) -> None:
         """Overwrite all elements; the length must match exactly.

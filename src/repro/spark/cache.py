@@ -297,10 +297,8 @@ class CacheStore:
             if tier is not None:
                 if block._tier_key is None:
                     block._tier_key = self._tier_name(block)
-                    tier_moved = tier.swap_out(
-                        block._tier_key,
-                        [memoryview(p.data)[:p.used]
-                         for p in group.pages])
+                    tier_moved = tier.swap_out(block._tier_key,
+                                               group.swap_chunks())
                 # else: the resident pages alias the extent (the block
                 # was promoted earlier) — the bytes are already cold.
                 block._tier_resident = False

@@ -3,9 +3,12 @@
 Spark SQL caches tables in a serialized column-oriented format and (with
 Tungsten) keeps aggregation buffers serialized too, so its GC footprint is
 a handful of column arrays regardless of row count.  This package
-reproduces that baseline: schema'd tables cached column-wise in packed
-byte arrays on the simulated heap, with filter and GroupBy-aggregate
-operators that do the real work while charging per-row costs.
+reproduces that baseline fused onto Deca's decomposition layer: cached
+relations are lifetime-grouped page groups (one contiguous page run per
+column), query operators are batch kernels over typed zero-copy views,
+and the caches are charged to the unified arena, swappable to the mmap
+cold tier and audited by the provenance sanitizer like any other page
+group.  See ``docs/sql_engine.md``.
 
 Example::
 
@@ -17,8 +20,8 @@ Example::
                where=("pageRank", ">", 100)))
 """
 
-from .schema import Column, ColumnType, TableSchema
-from .columnar import ColumnarTable
+from .schema import Column, ColumnType, TableSchema, table_udt
+from .columnar import ColumnarTable, PagedRelation, RowMajorTable
 from .engine import (
     Aggregation,
     Filter,
@@ -28,6 +31,7 @@ from .engine import (
     groupby_agg,
     groupby_sum,
     select,
+    top_k,
 )
 from .parser import parse
 
@@ -35,7 +39,10 @@ __all__ = [
     "Column",
     "ColumnType",
     "TableSchema",
+    "table_udt",
     "ColumnarTable",
+    "PagedRelation",
+    "RowMajorTable",
     "Aggregation",
     "Filter",
     "Query",
@@ -44,5 +51,6 @@ __all__ = [
     "groupby_agg",
     "groupby_sum",
     "select",
+    "top_k",
     "parse",
 ]

@@ -7,11 +7,13 @@ Covers exactly the dialect the paper's comparison uses::
     SELECT SUBSTR(sourceIP, 1, 5), SUM(adRevenue)
     FROM uservisits GROUP BY SUBSTR(sourceIP, 1, 5);
 
-i.e. projection with an optional single comparison predicate, and
-GroupBy-aggregation with ``SUM`` over an optional ``SUBSTR`` key.  The
-parser produces the structured :class:`~repro.sql.engine.Query` the
-engine executes; anything outside the dialect raises
-:class:`~repro.errors.SqlError` with a pointed message.
+i.e. projection with an optional single comparison predicate,
+GroupBy-aggregation with ``SUM`` over an optional ``SUBSTR`` key, and
+``ORDER BY ... LIMIT`` for top-k scans.  Identifiers may be
+double-quoted (``"pageURL"``).  The parser produces the structured
+:class:`~repro.sql.engine.Query` the engine executes; anything outside
+the dialect raises :class:`~repro.errors.SqlError` with a pointed
+message.
 """
 
 from __future__ import annotations
@@ -23,25 +25,35 @@ from .engine import Aggregation, Filter, Query
 
 _WS = r"\s+"
 _IDENT = r"[A-Za-z_][A-Za-z_0-9]*"
+_NAME = rf"(?:{_IDENT}|\"{_IDENT}\")"
 _LITERAL = r"(?:-?\d+(?:\.\d+)?|'[^']*')"
 
 _SUBSTR = re.compile(
-    rf"SUBSTR\s*\(\s*({_IDENT})\s*,\s*1\s*,\s*(\d+)\s*\)",
+    rf"SUBSTR\s*\(\s*({_NAME})\s*,\s*1\s*,\s*(\d+)\s*\)",
     re.IGNORECASE)
 _AGG = re.compile(
-    rf"(SUM|COUNT|AVG|MIN|MAX)\s*\(\s*({_IDENT})\s*\)",
+    rf"(SUM|COUNT|AVG|MIN|MAX)\s*\(\s*({_NAME})\s*\)",
     re.IGNORECASE)
 
 _SELECT = re.compile(
     rf"^\s*SELECT{_WS}(?P<select>.+?)"
-    rf"{_WS}FROM{_WS}(?P<table>{_IDENT})"
+    rf"{_WS}FROM{_WS}(?P<table>{_NAME})"
     rf"(?:{_WS}WHERE{_WS}(?P<where>.+?))?"
     rf"(?:{_WS}GROUP{_WS}BY{_WS}(?P<group>.+?))?"
+    rf"(?:{_WS}ORDER{_WS}BY{_WS}(?P<order>{_NAME})"
+    rf"(?:{_WS}(?P<direction>ASC|DESC))?)?"
+    rf"(?:{_WS}LIMIT{_WS}(?P<limit>\d+))?"
     rf"\s*;?\s*$",
     re.IGNORECASE | re.DOTALL)
 
 _CONDITION = re.compile(
-    rf"^\s*({_IDENT})\s*(>=|<=|!=|==|=|>|<)\s*({_LITERAL})\s*$")
+    rf"^\s*({_NAME})\s*(>=|<=|!=|==|=|>|<)\s*({_LITERAL})\s*$")
+
+
+def _unquote(name: str) -> str:
+    if name.startswith('"'):
+        return name[1:-1]
+    return name
 
 
 def parse(sql: str) -> Query:
@@ -50,28 +62,40 @@ def parse(sql: str) -> Query:
     if match is None:
         raise SqlError(
             "unsupported statement; expected "
-            "SELECT ... FROM <table> [WHERE ...] [GROUP BY ...]")
-    table = match.group("table")
+            "SELECT ... FROM <table> [WHERE ...] [GROUP BY ...] "
+            "[ORDER BY ... [DESC]] [LIMIT n]")
+    table = _unquote(match.group("table"))
     select = match.group("select").strip()
     where = match.group("where")
     group = match.group("group")
+    order = match.group("order")
+    direction = match.group("direction")
+    limit = match.group("limit")
 
     if group is not None:
+        if order is not None or limit is not None:
+            raise SqlError(
+                "ORDER BY/LIMIT with GROUP BY is not supported")
         return _parse_aggregate(table, select, group, where)
-    return _parse_scan(table, select, where)
+    return _parse_scan(table, select, where, order, direction, limit)
 
 
-def _parse_scan(table: str, select: str, where: str | None) -> Query:
+def _parse_scan(table: str, select: str, where: str | None,
+                order: str | None, direction: str | None,
+                limit: str | None) -> Query:
     columns = []
     for part in select.split(","):
         name = part.strip()
-        if not re.fullmatch(_IDENT, name):
+        if not re.fullmatch(_NAME, name):
             raise SqlError(
                 f"unsupported select expression {name!r}; plain column "
                 "names only (aggregates need GROUP BY)")
-        columns.append(name)
+        columns.append(_unquote(name))
     condition = _parse_condition(where) if where is not None else None
-    return Query(table=table, projection=tuple(columns), where=condition)
+    return Query(table=table, projection=tuple(columns), where=condition,
+                 order_by=_unquote(order) if order is not None else None,
+                 descending=(direction or "").upper() == "DESC",
+                 limit=int(limit) if limit is not None else None)
 
 
 def _parse_condition(text: str) -> Filter:
@@ -81,15 +105,18 @@ def _parse_condition(text: str) -> Filter:
             f"unsupported WHERE clause {text.strip()!r}; expected "
             "<column> <op> <literal>")
     column, op, literal = match.groups()
-    return Filter(column, op, _parse_literal(literal))
+    return Filter(_unquote(column), op, _parse_literal(literal))
 
 
-def _parse_literal(text: str):
+def _parse_literal(text: str) -> int | float | str:
     if text.startswith("'"):
         return text[1:-1]
-    if "." in text:
-        return float(text)
-    return int(text)
+    try:
+        if "." in text:
+            return float(text)
+        return int(text)
+    except ValueError as exc:  # unreachable via _LITERAL, but typed
+        raise SqlError(f"malformed literal {text!r}") from exc
 
 
 def _parse_aggregate(table: str, select: str, group: str,
@@ -99,10 +126,10 @@ def _parse_aggregate(table: str, select: str, group: str,
     group = group.strip()
     substr = _SUBSTR.fullmatch(group)
     if substr is not None:
-        key_column = substr.group(1)
+        key_column = _unquote(substr.group(1))
         key_prefix: int | None = int(substr.group(2))
-    elif re.fullmatch(_IDENT, group):
-        key_column, key_prefix = group, None
+    elif re.fullmatch(_NAME, group):
+        key_column, key_prefix = _unquote(group), None
     else:
         raise SqlError(
             f"unsupported GROUP BY expression {group!r}; expected a "
@@ -127,7 +154,7 @@ def _parse_aggregate(table: str, select: str, group: str,
             "SUM/COUNT/AVG/MIN/MAX(column)")
     return Query(table=table,
                  aggregation=Aggregation(key_column,
-                                         agg_match.group(2),
+                                         _unquote(agg_match.group(2)),
                                          key_prefix,
                                          func=agg_match.group(1).upper()))
 
@@ -152,4 +179,4 @@ def _split_select(select: str) -> list[str]:
 
 
 def _normalize(expr: str) -> str:
-    return re.sub(r"\s+", "", expr).lower()
+    return re.sub(r"\s+", "", expr).lower().replace('"', "")

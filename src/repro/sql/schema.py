@@ -4,18 +4,27 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from ..errors import SchemaError
 
+if TYPE_CHECKING:
+    from ..analysis.udt import ClassType
+
 
 class ColumnType(enum.Enum):
-    """Supported column types (the Big Data Benchmark schema needs these)."""
+    """Supported column types (the Big Data Benchmark schema needs these).
+
+    ``OPAQUE`` holds byte payloads the analysis cannot see into (blobs a
+    UDF serialized itself); relations carrying one are not fixed-schema,
+    so the optimizer falls back to the row-major layout for them.
+    """
 
     INT = "int"
     LONG = "long"
     DOUBLE = "double"
     STRING = "string"
+    OPAQUE = "opaque"
 
     @property
     def struct_code(self) -> str | None:
@@ -26,6 +35,9 @@ class ColumnType(enum.Enum):
         if self is ColumnType.STRING:
             if not isinstance(value, str):
                 raise SchemaError(f"expected str, got {value!r}")
+        elif self is ColumnType.OPAQUE:
+            if not isinstance(value, (bytes, bytearray)):
+                raise SchemaError(f"expected bytes, got {value!r}")
         elif self is ColumnType.DOUBLE:
             if not isinstance(value, (int, float)):
                 raise SchemaError(f"expected number, got {value!r}")
@@ -77,6 +89,42 @@ class TableSchema:
     def __repr__(self) -> str:
         cols = ", ".join(f"{c.name} {c.ctype.value}" for c in self.columns)
         return f"TableSchema({self.name!r}: {cols})"
+
+
+def table_udt(schema: TableSchema) -> "ClassType":
+    """Synthesize the analysis UDT for a SQL relation.
+
+    One final field per column: fixed-width columns map to primitives,
+    strings to char arrays (RFSTs, like a JVM String's backing array),
+    and opaque payloads to an array with a *polymorphic* element type-set
+    — the analysis cannot prove anything about their contents, which is
+    what pushes the optimizer's layout decision to row-major.
+    """
+    from ..analysis.udt import (
+        BYTE,
+        CHAR,
+        DOUBLE,
+        INT,
+        LONG,
+        ArrayType,
+        ClassType,
+        Field,
+    )
+    primitives = {ColumnType.INT: INT, ColumnType.LONG: LONG,
+                  ColumnType.DOUBLE: DOUBLE}
+    fields: list[Field] = []
+    for column in schema.columns:
+        primitive = primitives.get(column.ctype)
+        if primitive is not None:
+            fields.append(Field(column.name, primitive, final=True))
+        elif column.ctype is ColumnType.STRING:
+            fields.append(Field(column.name, ArrayType(CHAR), final=True))
+        else:
+            fields.append(Field(
+                column.name,
+                ArrayType(BYTE, element_type_set=(BYTE, CHAR)),
+                final=True))
+    return ClassType(f"SqlRelation_{schema.name}", fields)
 
 
 RANKINGS_SCHEMA = TableSchema("rankings", [

@@ -165,3 +165,86 @@ class TestFieldReordering:
         assert [n for n, _ in reordered.fields] == ["count", "chars"]
         # count now has a static offset.
         assert reordered.field_offsets[0] == 0
+
+
+class TestColumnLayouts:
+    def test_fixed_column_roundtrip(self):
+        from repro.memory.layout import FixedColumnLayout
+        layout = FixedColumnLayout("i")
+        values = [3, -7, 2**30, 0]
+        run = layout.emit(values)
+        assert len(run) == len(values) * layout.item_size
+        view = layout.view(bytearray(run), 0, len(run))
+        assert list(view) == values
+        view.release()
+
+    @pytest.mark.parametrize("code,values", [
+        ("q", [2**40, -2**40, 0]),
+        ("d", [1.5, -0.25, 1e9]),
+    ])
+    def test_fixed_column_codes(self, code, values):
+        from repro.memory.layout import FixedColumnLayout
+        layout = FixedColumnLayout(code)
+        run = layout.emit(values)
+        assert list(layout.view(bytearray(run), 0, len(run))) == values
+
+    def test_fixed_view_rejects_misaligned_length(self):
+        from repro.memory.layout import FixedColumnLayout
+        layout = FixedColumnLayout("i")
+        with pytest.raises(MemoryLayoutError):
+            layout.view(bytearray(7), 0, 7)
+
+    def test_string_column_roundtrip(self):
+        from repro.memory.layout import StringColumnLayout
+        layout = StringColumnLayout()
+        values = ["", "spark", "déca", "x" * 100]
+        offsets_run, blob_run = layout.emit(values)
+        view = layout.view(bytearray(offsets_run), 0, len(offsets_run),
+                           bytearray(blob_run), 0, len(blob_run))
+        assert view.count == len(values)
+        assert list(view) == values
+        assert [view.get(i) for i in range(len(values))] == values
+
+    def test_string_prefix_is_clamped(self):
+        from repro.memory.layout import StringColumnLayout
+        layout = StringColumnLayout()
+        offsets_run, blob_run = layout.emit(["ab", "wxyz"])
+        view = layout.view(bytearray(offsets_run), 0, len(offsets_run),
+                           bytearray(blob_run), 0, len(blob_run))
+        assert view.get_prefix(0, 10) == "ab"
+        assert view.get_prefix(1, 2) == "wx"
+
+    def test_string_view_release_is_idempotent(self):
+        from repro.memory.layout import StringColumnLayout
+        layout = StringColumnLayout()
+        offsets_run, blob_run = layout.emit(["a"])
+        view = layout.view(bytearray(offsets_run), 0, len(offsets_run),
+                           bytearray(blob_run), 0, len(blob_run))
+        view.release()
+        view.release()
+
+
+class TestColumnarPlan:
+    def test_primitive_fields_plan_fixed(self):
+        from repro.memory.layout import FixedColumnLayout, columnar_plan
+        udt = ClassType("P", [Field("a", INT, final=True),
+                              Field("b", DOUBLE, final=True)])
+        schema = build_schema(udt, SizeType.STATIC_FIXED)
+        plan = columnar_plan(schema)
+        assert [name for name, _ in plan] == ["a", "b"]
+        assert [type(c) for _, c in plan] == [FixedColumnLayout] * 2
+
+    def test_char_array_plans_string(self):
+        from repro.memory.layout import StringColumnLayout, columnar_plan
+        udt = ClassType("S", [Field("s", ArrayType(CHAR), final=True)])
+        schema = build_schema(udt, SizeType.RUNTIME_FIXED)
+        ((name, layout),) = columnar_plan(schema)
+        assert name == "s"
+        assert isinstance(layout, StringColumnLayout)
+
+    def test_double_array_has_no_column_layout(self):
+        from repro.memory.layout import columnar_plan
+        udt = ClassType("V", [Field("v", ArrayType(DOUBLE), final=True)])
+        schema = build_schema(udt, SizeType.RUNTIME_FIXED)
+        with pytest.raises(MemoryLayoutError):
+            columnar_plan(schema)

@@ -174,3 +174,43 @@ class TestMemoryManager:
         manager = self.make_manager()
         manager.new_page_group("shuffle", evictable=False)
         assert list(manager.eviction_order()) == []
+
+
+class TestColumnRuns:
+    def test_append_run_dedicated_page(self):
+        group = PageGroup("runs", page_bytes=64)
+        data = bytes(range(200))  # larger than the group's page size
+        ptr = group.append_run(data)
+        assert ptr.offset == 0
+        assert ptr.length == len(data)
+        buffer, offset = group.read(ptr)
+        assert bytes(buffer[offset:offset + ptr.length]) == data
+
+    def test_append_run_is_contiguous_per_run(self):
+        group = PageGroup("runs", page_bytes=64)
+        first = group.append_run(b"a" * 100)
+        second = group.append_run(b"b" * 50)
+        assert first.page_index != second.page_index
+        assert group.used_bytes == 150
+
+    def test_empty_run_still_allocates(self):
+        group = PageGroup("runs", page_bytes=64)
+        ptr = group.append_run(b"")
+        assert ptr.length == 0
+
+    def test_swap_chunks_cover_used_bytes(self):
+        group = PageGroup("runs", page_bytes=64)
+        group.append_run(b"x" * 100)
+        group.append_run(b"y" * 30)
+        chunks = group.swap_chunks()
+        assert sum(len(c) for c in chunks) == group.used_bytes
+        assert b"".join(bytes(c) for c in chunks) == b"x" * 100 + b"y" * 30
+        for chunk in chunks:
+            chunk.release()
+
+    def test_swap_chunks_rejects_reclaimed_group(self):
+        group = PageGroup("runs", page_bytes=64)
+        group.append_run(b"x" * 10)
+        group.reclaim()
+        with pytest.raises(PageReclaimedError):
+            group.swap_chunks()

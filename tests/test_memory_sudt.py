@@ -150,3 +150,27 @@ class TestDataSize:
         acc.write((5.0, ((9.0, 8.0, 7.0, 6.0), 0, 1, 4)))
         assert acc.label == 5.0
         assert acc.features.data.to_tuple() == (9.0, 8.0, 7.0, 6.0)
+
+
+class TestTypedArrayView:
+    def test_typed_view_casts_primitive_array(self):
+        schema = labeled_point_schema()
+        Sudt = synthesize_sudt(schema)
+        buf = bytearray(schema.fixed_size)
+        schema.pack_into(buf, 0, (1.5, ((1.0, 2.0, 3.0, 4.0), 0, 1, 4)))
+        view = Sudt(buf, 0).features.data.typed_view()
+        assert view.format == "d"
+        assert list(view) == [1.0, 2.0, 3.0, 4.0]
+        view.release()
+
+    def test_typed_view_matches_to_tuple(self):
+        wc = make_wordcount_model()
+        cg = CallGraph.build(wc.stage_entry, known_types=(wc.tuple2,))
+        size_type = GlobalClassifier(cg).classify(wc.tuple2)
+        schema = build_schema(wc.tuple2, size_type)
+        Sudt = synthesize_sudt(schema)
+        value = ((tuple(ord(c) for c in "page"),), 2)
+        buf = bytearray(schema.size_of(value))
+        schema.pack_into(buf, 0, value)
+        arr = Sudt(buf, 0).word.value
+        assert tuple(arr.typed_view()) == arr.to_tuple()

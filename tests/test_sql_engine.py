@@ -3,6 +3,7 @@
 import pytest
 
 from repro.config import DecaConfig, MB
+from repro.core.optimizer import plan_sql_layout
 from repro.data import rankings_table, uservisits_table
 from repro.errors import SchemaError, SqlError
 from repro.sql import (
@@ -13,8 +14,14 @@ from repro.sql import (
     TableSchema,
     groupby_sum,
     select,
+    top_k,
 )
 from repro.sql.schema import RANKINGS_SCHEMA, USERVISITS_SCHEMA
+
+BLOBS_SCHEMA = TableSchema("blobs", [
+    Column("key", ColumnType.INT),
+    Column("payload", ColumnType.OPAQUE),
+])
 
 
 class TestSchema:
@@ -70,8 +77,12 @@ class TestColumnarTable:
         from repro.simtime import SimClock
         from repro.jvm import SimHeap
         heap = SimHeap(cfg, SimClock())
-        ColumnarTable(RANKINGS_SCHEMA, rankings_table(1000), heap=heap)
-        assert heap.live_objects == 2 * len(RANKINGS_SCHEMA.columns)
+        table = ColumnarTable(RANKINGS_SCHEMA, rankings_table(1000),
+                              heap=heap)
+        # One heap object per column run: 1 for each fixed column, 2
+        # (offsets + blob) for each string column.
+        assert table.run_count == 4
+        assert heap.live_objects == table.run_count
 
     def test_release_frees_heap(self):
         cfg = DecaConfig(heap_bytes=64 * MB)
@@ -157,3 +168,148 @@ class TestQueries:
         assert engine.cached_bytes > 0
         engine.uncache_table("rankings")
         assert engine.cached_bytes == 0
+
+    def test_top_k_matches_python(self):
+        engine = self.make_engine()
+        rows = rankings_table(200)
+        result = engine.run(top_k(["pageURL", "pageRank"], "rankings",
+                                  order_by="pageRank", k=5))
+        expected = sorted(((r[0], r[1]) for r in rows),
+                          key=lambda t: t[1], reverse=True)[:5]
+        assert [r[1] for r in result.rows] == [e[1] for e in expected]
+
+
+class TestArenaAccounting:
+    """Regression: SQL caches used to escape memory accounting.
+
+    The old engine summed a private ``cached_bytes`` counter and never
+    told the unified arena anything — cached relations were invisible
+    to eviction and to the ``memory:*`` trace stream.
+    """
+
+    def make_engine(self):
+        engine = SqlEngine(DecaConfig(heap_bytes=64 * MB))
+        engine.register_table("rankings", RANKINGS_SCHEMA,
+                              rankings_table(200))
+        return engine
+
+    def test_cache_charges_unified_arena(self):
+        engine = self.make_engine()
+        engine.cache_table("rankings")
+        assert engine.cached_bytes > 0
+        assert engine.arena.storage_used == engine.cached_bytes
+        events = [e.name for e in engine.tracer.by_category("memory")]
+        assert "memory:acquire" in events
+
+    def test_uncache_discharges_arena(self):
+        engine = self.make_engine()
+        engine.cache_table("rankings")
+        engine.uncache_table("rankings")
+        assert engine.arena.storage_used == 0
+        events = [e.name for e in engine.tracer.by_category("memory")]
+        assert "memory:release" in events
+
+
+class TestLayoutPlanning:
+    def test_fixed_schema_goes_columnar(self):
+        plan = plan_sql_layout(RANKINGS_SCHEMA)
+        assert plan.layout == "columnar"
+        assert plan.table == "rankings"
+
+    def test_opaque_column_falls_back_to_row(self):
+        plan = plan_sql_layout(BLOBS_SCHEMA)
+        assert plan.layout == "row"
+        assert plan.reason
+
+    def test_engine_auto_layouts(self):
+        engine = SqlEngine(DecaConfig(heap_bytes=64 * MB))
+        engine.register_table("rankings", RANKINGS_SCHEMA,
+                              rankings_table(20))
+        engine.register_table("blobs", BLOBS_SCHEMA,
+                              [(i, bytes([i, i + 1])) for i in range(8)])
+        engine.cache_table("rankings")
+        engine.cache_table("blobs")
+        assert engine.layout_of("rankings") == "columnar"
+        assert engine.layout_of("blobs") == "row"
+
+    def test_opaque_relation_roundtrips_rows(self):
+        engine = SqlEngine(DecaConfig(heap_bytes=64 * MB))
+        rows = [(i, bytes([i, 255 - i])) for i in range(10)]
+        engine.register_table("blobs", BLOBS_SCHEMA, rows)
+        table = engine.cache_table("blobs")
+        assert [table.row(i) for i in range(10)] == rows
+
+    def test_forced_row_layout_same_answers(self):
+        rows = rankings_table(150)
+        query = select(["pageURL", "pageRank"], "rankings",
+                       where=("pageRank", ">", 100))
+        results = {}
+        for layout in ("columnar", "row"):
+            engine = SqlEngine(DecaConfig(heap_bytes=64 * MB))
+            engine.register_table("rankings", RANKINGS_SCHEMA, rows)
+            engine.cache_table("rankings", layout=layout)
+            assert engine.layout_of("rankings") == layout
+            results[layout] = sorted(engine.run(query).rows)
+        assert results["columnar"] == results["row"]
+
+    def test_unknown_layout_rejected(self):
+        engine = SqlEngine(DecaConfig(heap_bytes=64 * MB))
+        engine.register_table("rankings", RANKINGS_SCHEMA,
+                              rankings_table(5))
+        with pytest.raises(SqlError):
+            engine.cache_table("rankings", layout="diagonal")
+
+
+class TestColdTierSwap:
+    def make_engine(self, rows=400):
+        cfg = DecaConfig(heap_bytes=64 * MB, cold_tier="mmap",
+                         sanitize=True)
+        engine = SqlEngine(cfg)
+        engine.register_table("rankings", RANKINGS_SCHEMA,
+                              rankings_table(rows))
+        return engine
+
+    def test_demote_promote_roundtrip(self):
+        engine = self.make_engine()
+        query = select(["pageURL", "pageRank"], "rankings",
+                       where=("pageRank", ">", 100))
+        resident = engine.run(query).rows
+        moved = engine.demote_table("rankings")
+        assert moved > 0
+        assert engine.cached_bytes == 0
+        # run() promotes the relation back from the tier on demand.
+        assert engine.run(query).rows == resident
+        # The mmap tier moves raw page bytes: no serializer anywhere.
+        assert engine.swap_copy_bytes == 0
+        engine.close()
+        assert engine.ledger.check_finish()["violations"] == 0
+
+    def test_redemote_of_promoted_pages_moves_nothing(self):
+        engine = self.make_engine()
+        engine.cache_table("rankings")
+        assert engine.demote_table("rankings") > 0
+        engine.run(select(["pageRank"], "rankings"))
+        # Promoted pages alias the tier extent, so the extent is still
+        # valid and a re-demote moves zero bytes.
+        assert engine.demote_table("rankings") == 0
+        engine.close()
+        assert engine.ledger.check_finish()["violations"] == 0
+
+    def test_uncache_drops_extent(self):
+        engine = self.make_engine()
+        engine.cache_table("rankings")
+        engine.demote_table("rankings")
+        engine.uncache_table("rankings")
+        assert engine.tier_stats["extents_live"] == 0
+        engine.close()
+
+    def test_heap_tier_counts_serializer_copies(self):
+        cfg = DecaConfig(heap_bytes=64 * MB, cold_tier="heap")
+        engine = SqlEngine(cfg)
+        engine.register_table("rankings", RANKINGS_SCHEMA,
+                              rankings_table(100))
+        engine.cache_table("rankings")
+        moved = engine.demote_table("rankings")
+        assert moved > 0
+        assert engine.swap_copy_bytes == moved
+        engine.close()

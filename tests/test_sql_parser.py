@@ -78,6 +78,59 @@ class TestParseAggregate:
             parse("SELECT a, SUM(b), SUM(c) FROM t GROUP BY a")
 
 
+class TestParseTopK:
+    def test_order_by_limit(self):
+        query = parse("SELECT pageURL, pageRank FROM rankings "
+                      "ORDER BY pageRank DESC LIMIT 10")
+        assert query.order_by == "pageRank"
+        assert query.descending
+        assert query.limit == 10
+
+    def test_order_by_ascending_default(self):
+        query = parse("SELECT a FROM t ORDER BY a")
+        assert query.order_by == "a"
+        assert not query.descending
+        assert query.limit is None
+
+    def test_limit_without_order(self):
+        query = parse("SELECT a FROM t LIMIT 3")
+        assert query.order_by is None
+        assert query.limit == 3
+
+    def test_order_by_must_be_projected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a FROM t ORDER BY b")
+
+    def test_order_by_with_group_by_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a, SUM(b) FROM t GROUP BY a ORDER BY a")
+
+
+class TestQuotedIdentifiers:
+    def test_quoted_projection_and_table(self):
+        query = parse('SELECT "pageURL", "pageRank" FROM "rankings" '
+                      'WHERE "pageRank" > 100')
+        assert query.table == "rankings"
+        assert query.projection == ("pageURL", "pageRank")
+        assert query.where == Filter("pageRank", ">", 100)
+
+    def test_quoted_group_by_key(self):
+        query = parse('SELECT "countryCode", SUM("adRevenue") '
+                      'FROM uservisits GROUP BY "countryCode"')
+        assert query.aggregation == Aggregation("countryCode",
+                                                "adRevenue", None)
+
+    def test_quoted_substr_key(self):
+        query = parse('SELECT SUBSTR("sourceIP", 1, 5), SUM(adRevenue) '
+                      'FROM uservisits GROUP BY SUBSTR("sourceIP", 1, 5)')
+        assert query.aggregation == Aggregation("sourceIP",
+                                                "adRevenue", 5)
+
+    def test_unterminated_quote_rejected(self):
+        with pytest.raises(SqlError):
+            parse('SELECT "pageURL FROM rankings')
+
+
 class TestParseErrors:
     @pytest.mark.parametrize("bad", [
         "DELETE FROM t",
@@ -91,6 +144,26 @@ class TestParseErrors:
         with pytest.raises(SqlError):
             parse(bad)
 
+    def test_surplus_whitespace_tolerated(self):
+        query = parse("  SELECT\t a ,\n  b   FROM\n\tt \n"
+                      "  WHERE  a  >=  3 ;  ")
+        assert query.projection == ("a", "b")
+        assert query.where == Filter("a", ">=", 3)
+
+    @pytest.mark.parametrize("bad", [
+        "SELECT a FROM t WHERE a >",
+        "SELECT a FROM t WHERE > 1",
+        "SELECT a FROM t WHERE a ~ 1",
+        "SELECT a FROM t WHERE a = 'open",
+        "SELECT a FROM t WHERE a = 1.2.3",
+        "SELECT a FROM t LIMIT -1",
+        "SELECT a FROM t LIMIT many",
+    ])
+    def test_malformed_clauses_raise_typed_error(self, bad):
+        """Malformed predicates surface as SqlError, never ValueError."""
+        with pytest.raises(SqlError):
+            parse(bad)
+
 
 class TestEndToEndSql:
     def test_engine_sql_matches_structured_api(self):
@@ -101,6 +174,16 @@ class TestEndToEndSql:
                              "WHERE pageRank > 100;")
         expected = sorted((r[0], r[1]) for r in rows if r[1] > 100)
         assert sorted(via_sql.rows) == expected
+
+    def test_engine_sql_top_k(self):
+        engine = SqlEngine()
+        rows = rankings_table(300)
+        engine.register_table("rankings", RANKINGS_SCHEMA, rows)
+        result = engine.sql("SELECT pageURL, pageRank FROM rankings "
+                            "ORDER BY pageRank DESC LIMIT 7")
+        expected = sorted(((r[0], r[1]) for r in rows),
+                          key=lambda t: t[1], reverse=True)[:7]
+        assert [r[1] for r in result.rows] == [r[1] for r in expected]
 
     def test_engine_sql_aggregate(self):
         engine = SqlEngine()
