@@ -5,9 +5,13 @@ Runs *after* the mp test/bench steps and fails the job if the run left
 anything behind that a correct segment lifecycle would have cleaned up:
 
 * shared-memory segments — every segment the backend creates is named
-  ``repro-mp-*`` (repro.exec.shm.SEGMENT_PREFIX), so anything with that
-  prefix still linked under ``/dev/shm`` is a leak of the registry,
-  the atexit sweep or the worker-death orphan sweep;
+  ``repro-mp-<pid>-...`` (repro.exec.shm.SEGMENT_PREFIX plus the
+  driver pid), so a linked segment whose creator pid is dead is a leak
+  of the registry, the atexit sweep or the worker-death orphan sweep.
+  A segment whose creator is *alive* is checked against that process's
+  registry manifest (repro.exec.shm.manifest_path): present means the
+  run still owns it, absent means the registry entry is gone and
+  nothing will ever unlink it — the live-creator orphan;
 * worker processes — mp workers are forked children of the test
   process and share its command line, so any surviving ``pytest`` /
   ``repro.bench`` process after those steps finished is a stray worker
@@ -23,6 +27,7 @@ Exit status 0 = clean, 1 = leaks found (details on stdout).
 
 from __future__ import annotations
 
+import json
 import os
 import re
 import subprocess
@@ -31,17 +36,67 @@ import tempfile
 
 SHM_DIR = "/dev/shm"
 SEGMENT_PREFIX = "repro-mp"
+SEGMENT_PATTERN = re.compile(r"^repro-mp-(\d+)-")
 TIER_PATTERN = re.compile(r"^repro-tier-(\d+)-")
 
 #: Command lines mp workers inherit from the processes that fork them.
 WORKER_PATTERNS = ("python -m pytest", "-m repro.bench")
 
 
+def manifest_segments(pid: int) -> set[str] | None:
+    """Segments the (alive) creator's registry still owns.
+
+    Mirrors ``repro.exec.shm.manifest_path`` without importing the
+    package — this script must run standalone in CI.  Returns ``None``
+    when the process has no manifest (its registry owns nothing, so
+    every surviving segment of that pid is an orphan).
+    """
+    path = os.path.join(tempfile.gettempdir(),
+                        f"repro-mp-manifest-{pid}.json")
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    segments = payload.get("segments")
+    if not isinstance(segments, list):
+        return None
+    return {str(name) for name in segments}
+
+
 def leaked_segments() -> list[str]:
+    """Linked ``repro-mp-*`` segments nothing will ever unlink.
+
+    Three classes: a name with no parseable creator pid (flagged — the
+    backend never produces one), a dead creator (the sweeps failed),
+    and a *live* creator whose registry manifest no longer lists the
+    segment (the registry dropped the entry without unlinking — the
+    manifest-absent orphan a dead-pid check alone cannot see).
+    Segments a live creator's manifest still claims are in use, not
+    leaks.
+    """
     if not os.path.isdir(SHM_DIR):
         return []
-    return sorted(entry for entry in os.listdir(SHM_DIR)
-                  if entry.startswith(SEGMENT_PREFIX))
+    leaks: list[str] = []
+    manifests: dict[int, set[str] | None] = {}
+    for entry in sorted(os.listdir(SHM_DIR)):
+        if not entry.startswith(SEGMENT_PREFIX):
+            continue
+        match = SEGMENT_PATTERN.match(entry)
+        if match is None:
+            leaks.append(f"{entry} (no creator pid in name)")
+            continue
+        pid = int(match.group(1))
+        if not _pid_alive(pid):
+            leaks.append(f"{entry} (creator pid {pid} dead)")
+            continue
+        if pid not in manifests:
+            manifests[pid] = manifest_segments(pid)
+        owned = manifests[pid]
+        if owned is None or entry not in owned:
+            leaks.append(f"{entry} (creator pid {pid} alive but "
+                         f"registry entry gone)")
+    return leaks
 
 
 def stray_processes() -> list[str]:

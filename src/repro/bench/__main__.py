@@ -141,6 +141,11 @@ def main(argv: list[str] | None = None) -> int:
                            "(benchmarks/baselines/lint_baseline.json "
                            "unless --baseline overrides it) and exit 1 "
                            "on any finding it does not contain")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="regenerate the committed baseline "
+                           "(benchmarks/baselines/lint_baseline.json) "
+                           "from this run, print a per-app audit of "
+                           "what it now contains, and exit")
 
     sz = sub.add_parser(
         "sanitize",
@@ -344,6 +349,25 @@ def _run_lint(args) -> int:
         report = filter_report(report, tuple(args.rules))
     payload = report_payload(report)
 
+    if args.update_baseline:
+        # One audited command: rewrite the committed baseline from a
+        # full run and print exactly what it now contains so the diff
+        # is reviewable next to the code change that motivated it.
+        target = os.path.join(os.path.dirname(RESULTS_DIR),
+                              "baselines", "lint_baseline.json")
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(serialize(payload))
+        total = 0
+        for app in payload.get("apps", []):
+            count = len(app.get("findings", []))
+            total += count
+            print(f"  {app['app']:<16} findings={count}")
+        print(f"updated baseline {target} "
+              f"({len(payload.get('apps', []))} apps, "
+              f"{total} findings)")
+        return 0
+
     if args.write_baseline:
         os.makedirs(os.path.dirname(os.path.abspath(args.write_baseline)),
                     exist_ok=True)
@@ -496,6 +520,114 @@ def _sanitize_fixture_checks() -> list[dict]:
     return rows
 
 
+def _race_fixture_checks() -> list[dict]:
+    """Drive every seeded DECA40x bug against a live vclock checker.
+
+    Each fixture from :mod:`repro.lint.fixtures.race_bugs` runs with a
+    fresh :class:`~repro.obs.vclock.VClockChecker` against real engine
+    objects where the protocol needs them (a mmap tier for the
+    demote/promote race, a real shm segment for the read-only write, a
+    live tracer for the relay) and stubs where only the protocol edge
+    matters; the check passes when the checker records at least one
+    violation with exactly the slug the fixture's rule maps to.
+    """
+    import os
+    import pickle
+    import queue
+    import tempfile
+    import types
+
+    from multiprocessing import shared_memory
+
+    from ..lint.fixtures import race_bugs
+    from ..memory.tier import PageStoreTier
+    from ..obs.tracer import TraceEvent, Tracer
+    from ..obs.vclock import VClockChecker
+
+    rows: list[dict] = []
+
+    def run(rule: str, slug: str, drive) -> None:
+        checker = VClockChecker()
+        try:
+            drive(checker)
+        finally:
+            race_bugs.reset()
+        count = checker.counters.get(slug, 0)
+        rows.append({"rule": rule, "slug": slug, "violations": count,
+                     "fired": count > 0})
+
+    def drive_401(checker):
+        race_bugs.unlink_races_attach(checker, "repro-racefx-401")
+
+    def drive_402(checker):
+        registry = race_bugs.RacyRegistry()
+        registry.register("seg")
+        registry.release_unlocked(checker, "seg")
+
+    def drive_403(checker):
+        with tempfile.TemporaryDirectory() as tmp:
+            tier = PageStoreTier(os.path.join(tmp, "t403.bin"))
+            tier.swap_out("fx-cold", [b"\xaa" * 64])
+            entry = types.SimpleNamespace(cold=False)
+            race_bugs.demote_after_free(checker, tier, entry, "fx-cold")
+            tier.close()
+
+    def drive_404(checker):
+        arena = types.SimpleNamespace(free_bytes=128,
+                                      execution_acquire=lambda n: None)
+        pending: queue.Queue = queue.Queue()
+        pending.put(1)
+        race_bugs.stale_pool_write(checker, arena, pending)
+
+    def drive_405(checker):
+        checker.fork("worker0")
+        checker.note_result_produced("t0", actor="worker0")
+        outcome = types.SimpleNamespace(result_blob=pickle.dumps([1, 2]))
+        worker = types.SimpleNamespace(join=lambda: None)
+        race_bugs.consume_before_join(checker, outcome, worker)
+
+    def drive_406(checker):
+        checker.fork("w-live")
+        race_bugs.sweep_live_worker(checker, "repro-racefx-none-")
+
+    def drive_407(checker):
+        store = types.SimpleNamespace(pick_victim=lambda: "b1",
+                                      swap_out=lambda key: None)
+        race_bugs.respill_inflight_victim(checker, store, "b1")
+
+    def drive_408(checker):
+        seg = shared_memory.SharedMemory(name="repro-racefx-408",
+                                         create=True, size=64)
+        try:
+            race_bugs.write_through_attach(checker, "repro-racefx-408",
+                                           b"\xff" * 8)
+        finally:
+            race_bugs.reset()
+            seg.close()
+            seg.unlink()
+
+    def drive_409(checker):
+        event = TraceEvent(name="x", category="task", phase="i",
+                           ts_ms=1.0)
+        race_bugs.relay_unanchored(checker, Tracer(), event, 100.0)
+
+    def drive_410(checker):
+        arena = types.SimpleNamespace(grant=lambda task: None)
+        race_bugs.double_grant(checker, arena, "7")
+
+    run("DECA401", "unlink-concurrent-with-attach", drive_401)
+    run("DECA402", "refcount-outside-lock", drive_402)
+    run("DECA403", "demote-promote-race", drive_403)
+    run("DECA404", "borrow-evict-lost-update", drive_404)
+    run("DECA405", "wave-barrier-bypass", drive_405)
+    run("DECA406", "orphan-sweep-live-worker", drive_406)
+    run("DECA407", "reentrant-spill-victim", drive_407)
+    run("DECA408", "readonly-page-write", drive_408)
+    run("DECA409", "trace-relay-reorder", drive_409)
+    run("DECA410", "double-grant", drive_410)
+    return rows
+
+
 def _run_sanitize(args) -> int:
     """The ``sanitize`` subcommand: prove every DECA30x rule live.
 
@@ -515,6 +647,15 @@ def _run_sanitize(args) -> int:
     fixture_rows = _sanitize_fixture_checks()
     print("repro.bench sanitize · seeded-bug fixtures")
     for row in fixture_rows:
+        verdict = "fired" if row["fired"] else "MISSED"
+        print(f"  {row['rule']} {row['slug']:<28} "
+              f"violations={row['violations']:>2}  {verdict}")
+        if not row["fired"]:
+            status = 1
+
+    race_rows = _race_fixture_checks()
+    print("repro.bench sanitize · seeded race fixtures (vclock)")
+    for row in race_rows:
         verdict = "fired" if row["fired"] else "MISSED"
         print(f"  {row['rule']} {row['slug']:<28} "
               f"violations={row['violations']:>2}  {verdict}")
@@ -542,15 +683,19 @@ def _run_sanitize(args) -> int:
                                            num_partitions=4)
                     counters = dict(run.metrics.sanitize)
                     violations = counters.get("violations", 0)
+                    race_violations = run.metrics.race.get(
+                        "violations", 0)
                 except Exception as exc:   # SanitizerError included
                     counters = {}
                     violations = -1
+                    race_violations = -1
                     print(f"  {app}/{backend}: FAILED ({exc})",
                           file=sys.stderr)
-                clean = violations == 0
+                clean = violations == 0 and race_violations == 0
                 clean_cells.append({
                     "app": app, "backend": backend,
                     "violations": violations,
+                    "race_violations": race_violations,
                     "borrows": counters.get("borrows", 0),
                     "frees": counters.get("frees", 0),
                     "clean": clean,
@@ -561,11 +706,12 @@ def _run_sanitize(args) -> int:
                     print(f"  {app}/{backend}: clean "
                           f"(borrows={counters.get('borrows', 0)} "
                           f"frees={counters.get('frees', 0)} "
-                          f"violations=0)")
+                          f"violations=0 race_violations=0)")
 
     if args.json:
         path = write_json_result(args.json, {
             "fixtures": fixture_rows,
+            "race_fixtures": race_rows,
             "clean_runs": clean_cells,
             "ok": status == 0,
         })

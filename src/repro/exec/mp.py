@@ -127,6 +127,9 @@ class StageState:
     attempts: dict[int, int]
     num_executors: int
     run_tag: str
+    # worker_id -> {"actor": ..., "clock": ...} fork snapshots (race
+    # sanitizer; empty unless config.sanitize).
+    vclock_snapshots: dict[int, dict] = field(default_factory=dict)
 
 
 @dataclass
@@ -162,11 +165,16 @@ class MpBackend(ExecutionBackend):
         # The driver's provenance ledger (if sanitize mode is on) audits
         # segment register/release — unlink with readers is a violation.
         self.registry = ShmSegmentRegistry(on_unlink=self._segment_unlinked,
-                                           ledger=ctx.ledger)
+                                           ledger=ctx.ledger,
+                                           vclock=ctx.vclock)
         self.shuffle_meta: dict[int, ShuffleMeta] = {}
         self.cache_blocks: dict[tuple[int, int], CacheEntry] = {}
         self._cache_segments: dict[int, list[str]] = {}
         self._segment_owner: dict[str, int] = {}
+        # Race-sanitizer bookkeeping for the current wave: worker_id ->
+        # actor name, split -> owning worker_id.
+        self._wave_actors: dict[int, str] = {}
+        self._split_worker: dict[int, int] = {}
 
     # -- arena accounting -----------------------------------------------------
     def _charge_segment(self, ref: SegmentRef, executor_id: int) -> None:
@@ -252,9 +260,15 @@ class MpBackend(ExecutionBackend):
                                   job_metrics, stage_start,
                                   result_func=func)
         results: list[Any] = []
+        ctx = self.ctx
         for split in range(stage.num_tasks):
             out = outputs[split]
             assert out.result_blob is not None
+            if ctx.vclock is not None:
+                # The producer's notes were absorbed at the wave barrier
+                # in _run_stage, so this consume has its edge.
+                ctx.vclock.note_result_consumed(
+                    f"t{stage.stage_id}.{split}.{out.attempt}")
             self.stats.bytes_pickled_results += len(out.result_blob)
             results.append(pickle.loads(out.result_blob))
             self._register_caches(out)
@@ -317,6 +331,9 @@ class MpBackend(ExecutionBackend):
         if (self.ctx.ledger is not None and entry.ref is not None
                 and entry.ref.name is not None):
             self.ctx.ledger.note_demote("segment", entry.ref.name)
+        if (self.ctx.vclock is not None and entry.ref is not None
+                and entry.ref.name is not None):
+            self.ctx.vclock.note_demote("segment", entry.ref.name)
         self.stats.extra["blocks_demoted"] = \
             self.stats.extra.get("blocks_demoted", 0) + 1
 
@@ -374,6 +391,19 @@ class MpBackend(ExecutionBackend):
                 num_executors=len(ctx.executors), run_tag=self.run_tag)
             nworkers = max(1, min(self.num_workers, len(wave)))
             assignments = [wave[w::nworkers] for w in range(nworkers)]
+            self._wave_actors = {}
+            self._split_worker = {}
+            if ctx.vclock is not None:
+                # Fork edges: each worker's checker starts from a
+                # snapshot of the driver clock taken before the fork.
+                for worker_id, splits in enumerate(assignments):
+                    actor = f"w{stage.stage_id}.{waves}.{worker_id}"
+                    self._wave_actors[worker_id] = actor
+                    for split in splits:
+                        self._split_worker[split] = worker_id
+                    state.vclock_snapshots[worker_id] = {
+                        "actor": actor,
+                        "clock": ctx.vclock.fork(actor)}
             queue = self._mp.Queue()
             procs = []
             for worker_id, splits in enumerate(assignments):
@@ -391,8 +421,18 @@ class MpBackend(ExecutionBackend):
             queue.close()
             for proc in procs:
                 proc.join(timeout=5.0)
+            if ctx.vclock is not None:
+                # The wave barrier: every worker is joined, so all of
+                # them are dead by the time the next wave (or a sweep
+                # outside _gather) runs.
+                for actor in self._wave_actors.values():
+                    ctx.vclock.exit_actor(actor)
             self.stats.mp_tasks += len(oks) + len(fails)
             for out in oks:
+                if ctx.vclock is not None and out.vclock_notes is not None:
+                    # Receive edge: replay the worker's segment accesses
+                    # and join its clock into the driver's.
+                    ctx.vclock.absorb(out.vclock_notes)
                 outputs[out.split] = out
                 attempt = pending.pop(out.split)
                 reports.append(_AttemptReport(
@@ -404,6 +444,9 @@ class MpBackend(ExecutionBackend):
                     recovery.task_retries += attempt
             for fail in sorted(fails, key=lambda f: f.split):
                 split = fail.split
+                if ctx.vclock is not None \
+                        and fail.vclock_notes is not None:
+                    ctx.vclock.absorb(fail.vclock_notes)
                 reports.append(_AttemptReport(
                     split=split, attempt=fail.attempt,
                     executor_id=fail.executor_id, status=fail.status,
@@ -412,9 +455,18 @@ class MpBackend(ExecutionBackend):
                 failures[split] += 1
                 if fail.status == "executor-lost":
                     # The dead worker reported nothing: sweep whatever
-                    # the attempt managed to pack before dying.
-                    sweep_segments(self._attempt_prefix(
-                        stage, split, fail.attempt))
+                    # the attempt managed to pack before dying.  The
+                    # vclock saw the death confirmation in _gather
+                    # (exit_actor), so the owner is provably dead here.
+                    prefix = self._attempt_prefix(stage, split,
+                                                  fail.attempt)
+                    sweep_segments(prefix)
+                    if ctx.vclock is not None:
+                        owner_id = self._split_worker.get(split)
+                        ctx.vclock.note_sweep(
+                            prefix,
+                            owner=self._wave_actors.get(owner_id)
+                            if owner_id is not None else None)
                 if fail.status == "error":
                     # Non-injected failures are driver errors, as in the
                     # sim path (which only retries injected fault kinds).
@@ -463,6 +515,9 @@ class MpBackend(ExecutionBackend):
                 # them at the stage's driver timestamp.  The pid is the
                 # worker-assigned executor trace pid, same numbering the
                 # sim backend uses — traces stay single-file.
+                if ctx.vclock is not None:
+                    ctx.vclock.note_relay(stage_start + event.ts_ms,
+                                          stage_start, pid=event.pid)
                 ctx.tracer.emit(dataclasses.replace(
                     event, ts_ms=stage_start + event.ts_ms))
         ctx.tracer.instant(
@@ -506,6 +561,10 @@ class MpBackend(ExecutionBackend):
                     proc.terminate()
                 for proc in procs:
                     proc.join(timeout=5.0)
+                if self.ctx.vclock is not None:
+                    # Every worker was just terminated and joined.
+                    for actor in self._wave_actors.values():
+                        self.ctx.vclock.exit_actor(actor)
                 for split, attempt in sorted(pending.items()):
                     if split not in reported:
                         sweep_segments(
@@ -536,6 +595,12 @@ class MpBackend(ExecutionBackend):
                     continue
                 done.add(worker_id)
                 deaths += 1
+                if self.ctx.vclock is not None:
+                    # Death confirmed (corpse with an exit code): the
+                    # actor leaves the live set before any orphan sweep.
+                    actor = self._wave_actors.get(worker_id)
+                    if actor is not None:
+                        self.ctx.vclock.exit_actor(actor)
                 for split in assignments[worker_id]:
                     if split in reported:
                         continue

@@ -30,7 +30,10 @@ Lifecycle rules (mirroring page-info reference counting, §4.3.3):
 from __future__ import annotations
 
 import atexit
+import json
 import os
+import tempfile
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
@@ -38,6 +41,7 @@ from ..errors import PageError
 from ..memory.layout import Schema
 from ..memory.page import Page, PageGroup
 from ..memory.provenance import ProvenanceLedger
+from ..obs.vclock import VClockChecker
 
 try:  # pragma: no cover - the stdlib ships both on every target platform
     from multiprocessing import resource_tracker, shared_memory
@@ -186,7 +190,8 @@ def pack_records_segment(name: str, schema: Schema, values: list,
 
 
 def attach_page_group(ref: SegmentRef, group_name: str | None = None,
-                      ledger: ProvenanceLedger | None = None) -> PageGroup:
+                      ledger: ProvenanceLedger | None = None,
+                      vclock: VClockChecker | None = None) -> PageGroup:
     """Attach *ref* as a single-page read-side :class:`PageGroup`.
 
     The group's pages alias the shared mapping (zero-copy); reclaiming
@@ -202,6 +207,10 @@ def attach_page_group(ref: SegmentRef, group_name: str | None = None,
         # Release the pages' views first so the mapping has no exported
         # pointers left — otherwise ``close`` (and later the handle's
         # finalizer) would trip over BufferError.
+        if vclock is not None:
+            # Consumers attach read-only: prove no write leaked through
+            # the shared mapping while the group was mounted (DECA408).
+            vclock.verify_readonly("segment", ref.name or "")
         for page in group.pages:
             if isinstance(page.data, memoryview):
                 try:
@@ -222,6 +231,9 @@ def attach_page_group(ref: SegmentRef, group_name: str | None = None,
         # reclaiming the group must detach it (checked at finish).
         ledger.borrow("segment", ref.name, view=page.data, transient=False)
         group.ledger = ledger
+    if vclock is not None:
+        vclock.note_attach("segment", ref.name)
+        vclock.adopt_readonly("segment", ref.name, page.data)
     return group
 
 
@@ -251,10 +263,39 @@ _PENDING_UNLINK: set[str] = set()
 _ATEXIT_ARMED = False
 
 
+def manifest_path(pid: int | None = None) -> str:
+    """The per-process registry manifest under the temp dir.
+
+    The manifest mirrors ``_PENDING_UNLINK``: every segment this process
+    still owns.  ``scripts/check_mp_leaks.py`` uses it to catch the
+    *live-creator* orphan — a linked segment whose creating process is
+    alive but whose registry entry is gone, so nothing will ever unlink
+    it (a dead-pid check alone cannot see this leak).
+    """
+    return os.path.join(tempfile.gettempdir(),
+                        f"repro-mp-manifest-{pid or os.getpid()}.json")
+
+
+def _write_manifest() -> None:
+    """Persist the owned-segment set (best-effort; removed when empty)."""
+    path = manifest_path()
+    try:
+        if not _PENDING_UNLINK:
+            if os.path.exists(path):
+                os.unlink(path)
+            return
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"pid": os.getpid(),
+                       "segments": sorted(_PENDING_UNLINK)}, handle)
+    except OSError:  # pragma: no cover - tmpdir trouble must not kill a run
+        pass
+
+
 def _sweep_at_exit() -> None:
     for name in sorted(_PENDING_UNLINK):
         unlink_segment(name)
     _PENDING_UNLINK.clear()
+    _write_manifest()
 
 
 def _arm_atexit() -> None:
@@ -307,6 +348,8 @@ def sweep_segments(prefix: str) -> list[str]:
         if unlink_segment(name):
             _PENDING_UNLINK.discard(name)
             swept.append(name)
+    if swept:
+        _write_manifest()
     return swept
 
 
@@ -321,13 +364,20 @@ class ShmSegmentRegistry:
     """
 
     def __init__(self, on_unlink: Callable[[str, int], None] | None = None,
-                 ledger: ProvenanceLedger | None = None) -> None:
+                 ledger: ProvenanceLedger | None = None,
+                 vclock: VClockChecker | None = None) -> None:
+        # Every refcount mutation runs under this lock: the registry is
+        # driver-side today, but a speculative-execution thread touching
+        # it concurrently must not lose a count (DECA402's subject).
+        self._lock = threading.RLock()
         self._refs: dict[str, int] = {}
         self._nbytes: dict[str, int] = {}
         self.on_unlink = on_unlink
         # Sanitize mode: segment register/unlink transitions are checked
         # against the driver-side provenance ledger (None = no-op).
         self.ledger = ledger
+        # Race sanitizer: unlink ordering vs attaches (None = off).
+        self.vclock = vclock
         self.created_total = 0
         self.bytes_total = 0
         _arm_atexit()
@@ -343,44 +393,57 @@ class ShmSegmentRegistry:
         """Adopt *ref* with one reference (idempotent per name)."""
         if ref.name is None:
             return
-        if ref.name in self._refs:
-            raise PageError(f"segment {ref.name!r} registered twice")
-        self._refs[ref.name] = 1
-        self._nbytes[ref.name] = ref.nbytes
-        self.created_total += 1
-        self.bytes_total += ref.nbytes
+        with self._lock:
+            if ref.name in self._refs:
+                raise PageError(f"segment {ref.name!r} registered twice")
+            self._refs[ref.name] = 1
+            self._nbytes[ref.name] = ref.nbytes
+            self.created_total += 1
+            self.bytes_total += ref.nbytes
         if self.ledger is not None:
             self.ledger.note_alloc("segment", ref.name)
+        if self.vclock is not None:
+            self.vclock.note_create("segment", ref.name)
         _PENDING_UNLINK.add(ref.name)
+        _write_manifest()
 
     def acquire(self, name: str) -> None:
-        if name not in self._refs:
-            raise PageError(f"segment {name!r} is not registered")
-        self._refs[name] += 1
+        with self._lock:
+            if name not in self._refs:
+                raise PageError(f"segment {name!r} is not registered")
+            self._refs[name] += 1
 
     def release(self, name: str) -> None:
         """Drop one reference; the last one unlinks the segment."""
-        count = self._refs.get(name)
-        if count is None:
-            return
-        if count > 1:
-            self._refs[name] = count - 1
-            return
-        del self._refs[name]
-        nbytes = self._nbytes.pop(name, 0)
+        with self._lock:
+            count = self._refs.get(name)
+            if count is None:
+                return
+            if self.vclock is not None:
+                self.vclock.note_refdec(name, locked=True)
+            if count > 1:
+                self._refs[name] = count - 1
+                return
+            del self._refs[name]
+            nbytes = self._nbytes.pop(name, 0)
         if self.ledger is not None:
             # The last reference is gone: any borrow still live over the
             # segment is a use-after-unlink in the making.
             self.ledger.note_free("segment", name)
         unlink_segment(name)
+        if self.vclock is not None:
+            self.vclock.note_reclaim("segment", name)
         _PENDING_UNLINK.discard(name)
+        _write_manifest()
         if self.on_unlink is not None:
             self.on_unlink(name, nbytes)
 
     def release_all(self) -> int:
         """Unlink every registered segment (context teardown)."""
-        names = sorted(self._refs)
+        with self._lock:
+            names = sorted(self._refs)
+            for name in names:
+                self._refs[name] = 1
         for name in names:
-            self._refs[name] = 1
             self.release(name)
         return len(names)

@@ -34,6 +34,7 @@ from typing import Any, Callable, Iterator, TYPE_CHECKING
 
 from ..errors import TaskKilledError
 from ..obs.tracer import TraceEvent, Tracer
+from ..obs.vclock import VClockChecker
 from ..spark.faults import EXECUTOR_CRASH, TASK_KILL, TaskFaultPlan
 from ..spark.metrics import TaskMetrics
 from ..spark.scheduler import TaskContext
@@ -99,6 +100,9 @@ class TaskOutput:
     cache_blocks: list[CacheBlockOut] = field(default_factory=list)
     result_blob: bytes | None = None
     events: list[TraceEvent] = field(default_factory=list)
+    # Race-sanitizer notes (vclock export, sanitize mode only): the
+    # worker's clock plus its recorded segment accesses for this task.
+    vclock_notes: dict | None = None
 
 
 @dataclass
@@ -112,6 +116,7 @@ class TaskFailure:
     message: str
     duration_ms: float = 0.0
     events: list[TraceEvent] = field(default_factory=list)
+    vclock_notes: dict | None = None
 
 
 # -- the executor stub --------------------------------------------------------
@@ -289,6 +294,13 @@ class _WorkerRuntime:
         self.current_out: TaskOutput | None = None
         self.attempt_tag = ""
         ctx = state.ctx
+        # Race sanitizer: a worker-local checker seeded from the driver's
+        # fork snapshot; its notes ship home with every task outcome.
+        self.vclock: VClockChecker | None = None
+        seed = state.vclock_snapshots.get(worker_id)
+        if seed is not None:
+            self.vclock = VClockChecker(actor=str(seed["actor"]),
+                                        snapshot=dict(seed["clock"]))
         # Reroute cache materialization through this worker: blocks come
         # from (or go to) the backend's cross-process tables instead of
         # the simulated per-executor CacheStore.
@@ -311,6 +323,9 @@ class _WorkerRuntime:
                 # Inherited by fork from the driver — zero IPC.
                 yield from block.records
             elif block.shm_ref is not None and meta is not None:
+                if self.vclock is not None \
+                        and block.shm_ref.name is not None:
+                    self.vclock.note_access("segment", block.shm_ref.name)
                 records = read_segment_records(block.shm_ref, meta.schema,
                                                meta.decode)
                 if meta.tag is None:
@@ -335,6 +350,9 @@ class _WorkerRuntime:
             return
         entry = self.state.cache_blocks.get(key)
         if _resolvable(entry):
+            if (self.vclock is not None and entry.ref is not None
+                    and entry.ref.name is not None):
+                self.vclock.note_access("segment", entry.ref.name)
             records = list(entry.read())
             self.local_cache[key] = records
             yield from records
@@ -426,6 +444,10 @@ class _WorkerRuntime:
             os._exit(CRASH_EXIT_CODE)
         out.duration_ms = self.clock.now_ms - start_ms
         out.records_read = task.metrics.records_read
+        if self.vclock is not None:
+            self.vclock.note_result_produced(
+                f"t{stage.stage_id}.{split}.{attempt}")
+            out.vclock_notes = self.vclock.export_notes(drain=True)
         executor.tracer.complete(
             f"task:{stage.stage_id}.{split}.{attempt}", "task",
             ts_ms=start_ms, dur_ms=out.duration_ms,
@@ -450,10 +472,13 @@ class _WorkerRuntime:
             stage_id=self.state.stage.stage_id, task_id=split,
             attempt=attempt, status=status, backend="mp",
             worker_pid=os.getpid())
+        notes = (self.vclock.export_notes(drain=True)
+                 if self.vclock is not None else None)
         return TaskFailure(split=split, attempt=attempt,
                            executor_id=executor.executor_id, status=status,
                            message=message, duration_ms=duration,
-                           events=list(executor.tracer.events))
+                           events=list(executor.tracer.events),
+                           vclock_notes=notes)
 
     def _run_map_task(self, executor: WorkerExecutor, task: TaskContext,
                       split: int, out: TaskOutput) -> None:

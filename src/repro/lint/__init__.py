@@ -15,7 +15,12 @@ Two layers over the Deca lifetime analysis (see ``docs/static_analysis.md``):
 * **borrow rules** (``DECA301``–``DECA308``) — the zero-copy borrow
   checker over the engine's own mmap/shm plumbing, reported under the
   ``engine`` pseudo-app; the runtime counterpart is the alias sanitizer
-  (``REPRO_SANITIZE=1``, :mod:`repro.memory.provenance`).
+  (``REPRO_SANITIZE=1``, :mod:`repro.memory.provenance`);
+* **race rules** (``DECA401``–``DECA410``) — the happens-before race
+  detector over the engine's concurrency surface (mp backend, shm
+  protocol, scheduler, arena, cold tier), reported under the ``race``
+  pseudo-app; the runtime counterpart is the vector-clock sanitizer
+  (:mod:`repro.obs.vclock`).
 
 Entry points: :func:`run_lint` (library) and ``python -m repro.bench lint``
 (CLI, with text/JSON/SARIF output and a committed baseline checked in CI).
@@ -25,10 +30,13 @@ from .borrow import ENGINE_MODULES, analyze_source, run_borrow_rules
 from .closure_rules import app_sites, run_closure_rules
 from .engine import (
     ENGINE_APP,
+    PSEUDO_APPS,
+    RACE_APP,
     AppLintResult,
     LintReport,
     lint_app,
     lint_engine,
+    lint_race,
     run_lint,
 )
 from .findings import (
@@ -48,6 +56,7 @@ from .output import (
     serialize,
     to_sarif,
 )
+from .race import RACE_MODULES, analyze_race_source, run_race_rules
 from .rules import LintTarget, run_plan_rules, run_static_rules
 from .shadow import (
     ArenaEvent,
@@ -71,12 +80,16 @@ __all__ = [
     "LintApp",
     "LintReport",
     "LintTarget",
+    "PSEUDO_APPS",
     "PageAppend",
+    "RACE_APP",
+    "RACE_MODULES",
     "RULES",
     "RULES_BY_ID",
     "Rule",
     "Severity",
     "ShadowRecorder",
+    "analyze_race_source",
     "analyze_source",
     "app_sites",
     "baseline_diff",
@@ -86,8 +99,10 @@ __all__ = [
     "filter_report",
     "lint_app",
     "lint_engine",
+    "lint_race",
     "run_borrow_rules",
     "run_closure_rules",
+    "run_race_rules",
     "make_finding",
     "render_text",
     "report_payload",

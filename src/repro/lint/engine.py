@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from .borrow import run_borrow_rules
 from .closure_rules import run_closure_rules
+from .race import run_race_rules
 from .findings import Finding, Severity, sort_findings
 from .rules import run_plan_rules, run_static_rules
 from .shadow import (
@@ -90,6 +91,12 @@ def lint_app(app: LintApp, shadow: bool = True) -> AppLintResult:
 #: Name of the pseudo-app auditing the engine itself (DECA301–308).
 ENGINE_APP = "engine"
 
+#: Name of the pseudo-app race-checking the engine (DECA401–410).
+RACE_APP = "race"
+
+#: Pseudo-apps ride along with the full registry, in this order.
+PSEUDO_APPS = (ENGINE_APP, RACE_APP)
+
 
 def lint_engine() -> AppLintResult:
     """Borrow-check the engine's zero-copy modules (DECA301–DECA308).
@@ -103,6 +110,21 @@ def lint_engine() -> AppLintResult:
     return AppLintResult(
         app=ENGINE_APP,
         title="Engine zero-copy borrow audit (DECA301–308)",
+        findings=findings, summary=summary)
+
+
+def lint_race() -> AppLintResult:
+    """Race-check the engine's concurrency surface (DECA401–DECA410).
+
+    Like :func:`lint_engine`, the target is the engine source itself —
+    the mp backend, the shm protocol, the scheduler/shuffle pair, the
+    arena and the cold tier.  No shadow run; the dynamic counterpart is
+    the vector-clock sanitizer (:mod:`repro.obs.vclock`).
+    """
+    findings, summary = run_race_rules(target=RACE_APP)
+    return AppLintResult(
+        app=RACE_APP,
+        title="Engine concurrency race audit (DECA401–410)",
         findings=findings, summary=summary)
 
 
@@ -123,19 +145,22 @@ def resolve_apps(names: list[str]) -> tuple[LintApp, ...]:
 def run_lint(names: list[str], shadow: bool = True) -> LintReport:
     """Lint the named applications (``all``/empty = the full registry).
 
-    The ``engine`` pseudo-app (the zero-copy borrow audit) rides along
-    with the full registry and can be requested by name; it is never a
-    registry entry, so it must be filtered out before app resolution.
+    The ``engine`` and ``race`` pseudo-apps (the zero-copy borrow audit
+    and the concurrency race audit) ride along with the full registry
+    and can be requested by name; they are never registry entries, so
+    they must be filtered out before app resolution.
     """
-    app_names = [name for name in names if name != ENGINE_APP]
-    engine_requested = len(app_names) != len(names)
+    app_names = [name for name in names if name not in PSEUDO_APPS]
+    requested = {name for name in names if name in PSEUDO_APPS}
     full_registry = not names or names == ["all"]
     results: list[AppLintResult] = []
     if full_registry or app_names:
         # resolve_apps([]) means "every registered app", so a bare
-        # ``engine`` request must not reach it.
+        # pseudo-app request must not reach it.
         results.extend(lint_app(app, shadow=shadow)
                        for app in resolve_apps(app_names))
-    if full_registry or engine_requested:
+    if full_registry or ENGINE_APP in requested:
         results.append(lint_engine())
+    if full_registry or RACE_APP in requested:
+        results.append(lint_race())
     return LintReport(apps=tuple(results))

@@ -148,6 +148,50 @@ RULES: tuple[Rule, ...] = (
          "A page-group drain's transient copies are never shrunk or "
          "freed after the drain; the double-buffer footprint outlives "
          "the swap it paid for", "§4.3"),
+    Rule("DECA401", "unlink-concurrent-with-attach", Severity.ERROR,
+         "A shared-memory segment is unlinked and then re-attached by "
+         "name on one path with no refcount acquire between them; a "
+         "concurrent attacher can map the deterministic name while the "
+         "unlink is in flight (TOCTOU)", "§4.3/§5"),
+    Rule("DECA402", "refcount-outside-lock", Severity.ERROR,
+         "A segment refcount is mutated outside the registry lock in a "
+         "class that takes the lock elsewhere; two concurrent mutators "
+         "can interleave read-modify-write and lose a count", "§4.3"),
+    Rule("DECA403", "demote-promote-race", Severity.ERROR,
+         "A cache entry's cold flag is flipped after the backing bytes "
+         "were already released/unlinked on the same path; a concurrent "
+         "promote reads the flag against recycled bytes", "§4.2"),
+    Rule("DECA404", "borrow-evict-lost-update", Severity.ERROR,
+         "An arena pool level is read, the path blocks (queue get / "
+         "join / sleep), and the stale reading then feeds a pool write; "
+         "a concurrent borrow or evict between the read and the write "
+         "is silently overwritten", "§4/§5"),
+    Rule("DECA405", "wave-barrier-bypass", Severity.ERROR,
+         "A task result is consumed before the wave barrier (worker "
+         "join / gather) on some path; the driver reads bytes the "
+         "producing worker may still be writing", "§5"),
+    Rule("DECA406", "orphan-sweep-live-worker", Severity.ERROR,
+         "An orphan-segment sweep runs on a path with no preceding "
+         "worker-death confirmation; a live worker's in-flight segments "
+         "are unlinked under it", "§5"),
+    Rule("DECA407", "reentrant-spill-victim", Severity.ERROR,
+         "A spill victim is selected with no in-flight guard on the "
+         "path; a re-entrant eviction (pressure raised by the spill's "
+         "own transients) can re-select the block mid-swap and drain "
+         "its pages twice", "§4.2/App. C"),
+    Rule("DECA408", "readonly-page-write", Severity.ERROR,
+         "A view adopted read-only from an attached segment is written "
+         "through in the consumer process; the write races every other "
+         "attacher of the same physical bytes", "§4.3"),
+    Rule("DECA409", "trace-relay-reorder", Severity.WARNING,
+         "Worker trace events are relayed onto the driver timeline "
+         "without re-anchoring their timestamps; relayed events sort "
+         "before their stage start and break timeline monotonicity",
+         "§5"),
+    Rule("DECA410", "double-grant", Severity.ERROR,
+         "One task key can be granted twice on a path with no release "
+         "between the grants; both holders charge the same fair-share "
+         "slot and the arena double-counts the bytes", "§4/§5"),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in RULES}

@@ -129,7 +129,8 @@ class PageStoreTier:
 
     def __init__(self, path: str | None = None, *, tracer: Any = None,
                  clock: Any = None, pid: int = 0, tag: str = "",
-                 ledger: ProvenanceLedger | None = None) -> None:
+                 ledger: ProvenanceLedger | None = None,
+                 vclock: Any = None) -> None:
         self.path = path if path is not None else default_tier_path(tag)
         self.tracer = tracer
         self.clock = clock
@@ -137,6 +138,9 @@ class PageStoreTier:
         # Sanitize mode: every exported view is recorded as a borrow and
         # checked when its extent is freed / remapped (None = no-op).
         self.ledger = ledger
+        # Race sanitizer: extent promotions are recorded as accesses the
+        # eventual drop must happen-after (repro.obs.vclock; None = off).
+        self.vclock = vclock
         self._creator_pid = os.getpid()
         self._closed = False
         try:
@@ -280,6 +284,8 @@ class PageStoreTier:
         self._extents[name] = TierExtent(offset, length, sizes)
         if self.ledger is not None:
             self.ledger.note_alloc("extent", name)
+        if self.vclock is not None:
+            self.vclock.note_create("extent", name)
         self.stats.swap_out_count += 1
         self.stats.bytes_moved_out += total
         self.stats.extents_live = len(self._extents)
@@ -304,6 +310,8 @@ class PageStoreTier:
         if self.ledger is not None:
             for view in out:
                 self.ledger.borrow("extent", name, view=view)
+        if self.vclock is not None:
+            self.vclock.note_access("extent", name)
         return out
 
     def swap_in(self, name: str) -> list[memoryview]:
@@ -334,6 +342,8 @@ class PageStoreTier:
                 # past the borrow check reads poison, not stale data.
                 self.ledger.note_poison("extent", name, poison_fill(
                     self._mm, extent.offset, extent.length))
+        if self.vclock is not None:
+            self.vclock.note_reclaim("extent", name)
         self._release(extent.offset, extent.length)
         self.stats.drop_count += 1
         self.stats.extents_live = len(self._extents)

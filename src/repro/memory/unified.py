@@ -33,6 +33,7 @@ from typing import Callable, Optional, Protocol
 
 from ..config import DecaConfig
 from ..obs.tracer import Tracer
+from ..obs.vclock import VClockChecker
 from ..simtime import SimClock
 
 # -- shadow-validation hooks ------------------------------------------------
@@ -143,6 +144,8 @@ class StaticMemoryArena:
         self.config = config
         self.shuffle_budget = config.shuffle_bytes
         self.shuffle_used = 0
+        # Race sanitizer; set by the context when config.sanitize.
+        self.vclock: Optional[VClockChecker] = None
 
     # -- shared shuffle pool ------------------------------------------------
     def shuffle_acquire(self, nbytes: int) -> None:
@@ -204,6 +207,8 @@ class UnifiedMemoryManager:
         # Live execution consumers:
         # id(consumer) -> (consumer, used, owning task key).
         self._consumers: dict[int, tuple[MemoryConsumer, int, int]] = {}
+        # Race sanitizer; set by the context when config.sanitize.
+        self.vclock: Optional[VClockChecker] = None
 
     # -- events ---------------------------------------------------------------
     def _emit(self, event: str, **args: object) -> None:
@@ -249,10 +254,14 @@ class UnifiedMemoryManager:
         key = self._task_keys
         self._task_used[key] = 0
         self._task_stack.append(key)
+        if self.vclock is not None:
+            self.vclock.note_grant(f"arena:{self.pid}:{key}")
         return key
 
     def task_finished(self, key: int) -> int:
         """Drop a task slot, force-releasing any leftover grants."""
+        if self.vclock is not None:
+            self.vclock.note_grant_release(f"arena:{self.pid}:{key}")
         leftover = self._task_used.pop(key, 0)
         if key in self._task_stack:
             self._task_stack.remove(key)

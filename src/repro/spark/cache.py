@@ -226,7 +226,10 @@ class CacheStore:
                       and key not in self._inflight]
         if not candidates:
             return None
-        return min(candidates)[1]
+        victim = min(candidates)[1]
+        if self.executor.vclock is not None:
+            self.executor.vclock.note_victim(str(victim))
+        return victim
 
     # -- swapping (Appendix C) ----------------------------------------------------
     def _tier_name(self, block: CachedBlock) -> str:
@@ -243,10 +246,14 @@ class CacheStore:
             # same LRU).
             return 0
         self._inflight.add(key)
+        if self.executor.vclock is not None:
+            self.executor.vclock.swap_begin(str(key))
         try:
             return self._swap_out(key, block)
         finally:
             self._inflight.discard(key)
+            if self.executor.vclock is not None:
+                self.executor.vclock.swap_end(str(key))
 
     def _swap_out(self, key: BlockKey, block: CachedBlock) -> int:
         executor = self.executor
@@ -361,6 +368,8 @@ class CacheStore:
             swap_args["tier_bytes"] = tier_moved
             if executor.ledger is not None and block._tier_key is not None:
                 executor.ledger.note_demote("extent", block._tier_key)
+            if executor.vclock is not None and block._tier_key is not None:
+                executor.vclock.note_demote("extent", block._tier_key)
             if executor.on_demote is not None:
                 # Tell the execution backend: mp workers must not keep
                 # resolving this block's shared-memory copy as hot.
@@ -408,6 +417,8 @@ class CacheStore:
                 block.blob = blob
                 block.memory_bytes = len(blob)
                 block._tier_resident = True
+                if executor.vclock is not None:
+                    executor.vclock.note_promote("extent", block._tier_key)
                 if executor.ledger is not None:
                     # The promoted view outlives this call on purpose.
                     executor.ledger.retain("extent", block._tier_key)
@@ -436,6 +447,8 @@ class CacheStore:
                 for view in tier.swap_in(block._tier_key):
                     group.adopt_page(view)
                 block._tier_resident = True
+                if executor.vclock is not None:
+                    executor.vclock.note_promote("extent", block._tier_key)
                 if executor.ledger is not None:
                     # Adoption hands ownership to the page group; the
                     # ledger tracks the borrows until group.reclaim().

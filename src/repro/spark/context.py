@@ -27,6 +27,7 @@ from ..exec import create_backend
 from ..jvm.objects import Lifetime
 from ..memory.provenance import VIOLATION_SLUGS, ProvenanceLedger
 from ..obs import Tracer
+from ..obs.vclock import RACE_SLUGS, VClockChecker
 from .cache import CachedBlock, StorageStrategy
 from .measure import ZERO_FOOTPRINT
 from .metrics import JobMetrics, RunMetrics
@@ -101,8 +102,17 @@ class DecaContext:
         # mp backend's registry); executors carry their own ledgers for
         # mmap extents.  None unless config.sanitize — zero overhead off.
         self.ledger: ProvenanceLedger | None = None
+        # Vector-clock race sanitizer (docs/static_analysis.md): one
+        # driver-side checker per run; mp workers carry forked replicas
+        # whose notes are absorbed with each result message.
+        self.vclock: VClockChecker | None = None
         if self.config.sanitize:
             self.ledger = ProvenanceLedger(tracer=self.tracer)
+            self.vclock = VClockChecker(actor="driver",
+                                        tracer=self.tracer)
+            for executor in self.executors:
+                executor.vclock = self.vclock
+                executor.arena.vclock = self.vclock
         # How stages execute: the sim backend declines every stage (the
         # scheduler's in-process loop runs); the mp backend runs them on
         # forked workers with shared-memory pages (repro.exec).
@@ -392,8 +402,18 @@ class DecaContext:
             for ledger in ledgers:
                 for name, count in ledger.check_finish().items():
                     run.sanitize[name] = run.sanitize.get(name, 0) + count
+            if self.vclock is not None:
+                # The vclock audit runs after backend/tier teardown so
+                # shutdown-path races (orphan sweeps, late unlinks) are
+                # checked too.
+                for name, count in self.vclock.check_finish().items():
+                    run.race[name] = run.race.get(name, 0) + count
             if run.sanitize.get("violations", 0):
                 raise SanitizerError({
                     slug: run.sanitize.get(slug, 0)
                     for slug in VIOLATION_SLUGS})
+            if run.race.get("violations", 0):
+                raise SanitizerError({
+                    slug: run.race.get(slug, 0)
+                    for slug in RACE_SLUGS})
         return run

@@ -21,6 +21,7 @@ from ..memory.provenance import ProvenanceLedger
 from ..memory.tier import PageStoreTier
 from ..memory.unified import UnifiedMemoryManager, create_memory_arena
 from ..obs import Tracer
+from ..obs.vclock import VClockChecker
 from ..simtime import SimClock
 from .cache import CacheStore
 from .faults import EXECUTOR_CRASH, FaultInjector, TaskFaultPlan
@@ -68,6 +69,10 @@ class Executor:
         if config.sanitize:
             self.ledger = ProvenanceLedger(
                 tracer=self.tracer, clock=self.clock, pid=self.trace_pid)
+        # Vector-clock race sanitizer: set by the context (one shared
+        # driver checker per run), threaded into the cold tier and the
+        # unified arena.  None unless config.sanitize.
+        self.vclock: VClockChecker | None = None
         self.cache = CacheStore(self)
         self.serializer.on_charge = self._attribute_serializer_time
         self.shuffle_store = shuffle_store
@@ -251,7 +256,8 @@ class Executor:
         if self._cold_tier is None:
             self._cold_tier = PageStoreTier(
                 tracer=self.tracer, clock=self.clock, pid=self.trace_pid,
-                tag=f"e{self.executor_id}", ledger=self.ledger)
+                tag=f"e{self.executor_id}", ledger=self.ledger,
+                vclock=self.vclock)
         return self._cold_tier
 
     def charge_network(self, nbytes: int) -> None:

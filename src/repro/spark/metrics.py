@@ -165,6 +165,9 @@ class RunMetrics:
     # Runtime alias-sanitizer counters (repro.memory.provenance), summed
     # across executor ledgers at finish(); empty unless config.sanitize.
     sanitize: dict[str, int] = field(default_factory=dict)
+    # Vector-clock race-sanitizer counters (repro.obs.vclock), folded in
+    # at finish(); empty unless config.sanitize.
+    race: dict[str, int] = field(default_factory=dict)
 
     @property
     def gc_pause_ms(self) -> float:
@@ -246,4 +249,6 @@ class RunMetrics:
             # Only present when the sanitizer ran: keeps baselines for
             # plain runs byte-identical (determinism CI).
             out["sanitize"] = dict(sorted(self.sanitize.items()))
+        if self.race:
+            out["race"] = dict(sorted(self.race.items()))
         return out

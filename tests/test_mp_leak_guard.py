@@ -1,0 +1,128 @@
+"""Regression tests for scripts/check_mp_leaks.py.
+
+The guard must catch all three segment-leak classes — unparseable
+name, dead creator, and the live-creator orphan (creator pid alive but
+registry entry gone) — while leaving segments a live creator's
+manifest still claims alone.  The manifest itself is maintained by
+``repro.exec.shm``; the round-trip test pins that contract.
+"""
+
+import importlib.util
+import json
+import os
+import tempfile
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import pytest
+
+from repro.exec import shm as shm_mod
+from repro.exec.shm import SegmentRef, ShmSegmentRegistry, manifest_path
+
+SCRIPT = (Path(__file__).resolve().parent.parent / "scripts"
+          / "check_mp_leaks.py")
+
+
+def load_guard():
+    spec = importlib.util.spec_from_file_location("check_mp_leaks",
+                                                  SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture
+def guard():
+    return load_guard()
+
+
+def shm_available() -> bool:
+    return os.path.isdir("/dev/shm")
+
+
+@pytest.mark.skipif(not shm_available(), reason="no /dev/shm")
+def test_segment_leak_classes(guard):
+    pid = os.getpid()
+    held = []
+
+    def make(name):
+        seg = shared_memory.SharedMemory(name=name, create=True,
+                                         size=64)
+        held.append(seg)
+        return seg
+
+    owned = f"repro-mp-{pid}-91-owned"
+    orphan = f"repro-mp-{pid}-91-orphan"
+    dead = "repro-mp-999999991-91-dead"
+    make(owned)
+    make(orphan)
+    make(dead)
+    manifest = manifest_path(pid)
+    with open(manifest, "w", encoding="utf-8") as handle:
+        json.dump({"pid": pid, "segments": [owned]}, handle)
+    try:
+        leaks = guard.leaked_segments()
+        flat = "\n".join(leaks)
+        # Live creator, manifest entry present: in use, not a leak.
+        assert owned not in flat
+        # Live creator, registry entry gone: the new orphan class.
+        assert any(orphan in line and "registry entry gone" in line
+                   for line in leaks)
+        # Dead creator: flagged as before.
+        assert any(dead in line and "dead" in line for line in leaks)
+    finally:
+        os.unlink(manifest)
+        for seg in held:
+            seg.close()
+            seg.unlink()
+
+
+@pytest.mark.skipif(not shm_available(), reason="no /dev/shm")
+def test_missing_manifest_means_every_segment_is_orphaned(guard):
+    pid = os.getpid()
+    name = f"repro-mp-{pid}-92-nomanifest"
+    seg = shared_memory.SharedMemory(name=name, create=True, size=64)
+    assert not os.path.exists(manifest_path(pid))
+    try:
+        leaks = guard.leaked_segments()
+        assert any(name in line and "registry entry gone" in line
+                   for line in leaks)
+    finally:
+        seg.close()
+        seg.unlink()
+
+
+def test_manifest_segments_parser(guard, tmp_path, monkeypatch):
+    monkeypatch.setattr(tempfile, "gettempdir", lambda: str(tmp_path))
+    monkeypatch.setattr(guard.tempfile, "gettempdir",
+                        lambda: str(tmp_path))
+    assert guard.manifest_segments(123) is None
+    path = tmp_path / "repro-mp-manifest-123.json"
+    path.write_text(json.dumps({"pid": 123, "segments": ["a", "b"]}))
+    assert guard.manifest_segments(123) == {"a", "b"}
+    path.write_text("not json")
+    assert guard.manifest_segments(123) is None
+    path.write_text(json.dumps({"pid": 123, "segments": "oops"}))
+    assert guard.manifest_segments(123) is None
+
+
+def test_registry_round_trips_the_manifest():
+    """register publishes the manifest entry; release retracts it."""
+    name = f"repro-mp-{os.getpid()}-93-roundtrip"
+    registry = ShmSegmentRegistry()
+    registry.register(SegmentRef(name=name, nbytes=64, count=0))
+    try:
+        path = manifest_path()
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert name in payload["segments"]
+        assert payload["pid"] == os.getpid()
+    finally:
+        registry.release(name)
+    # After the final release the entry is gone (and the file too,
+    # unless another live registry in this process still owns
+    # segments).
+    if os.path.exists(manifest_path()):
+        with open(manifest_path(), encoding="utf-8") as handle:
+            assert name not in json.load(handle)["segments"]
+    assert name not in shm_mod._PENDING_UNLINK
